@@ -1,0 +1,20 @@
+"""Benchmarks for the design-choice ablations called out in DESIGN.md."""
+
+from conftest import emit, run_once
+
+from repro.experiments import ablation_compression, ablation_noc
+
+
+def test_ablation_noc(benchmark):
+    result = run_once(benchmark, ablation_noc.run)
+    emit("Ablation - HMF-NoC vs HM-NoC / CLB", ablation_noc.format_table(result))
+    assert result.memory_access_energy_ratio > 1.5
+
+
+def test_ablation_compression(benchmark):
+    rows = run_once(benchmark, ablation_compression.run)
+    emit(
+        "Ablation - sparsity-aware compression",
+        ablation_compression.format_table(rows),
+    )
+    assert all(row.traffic_reduction > 0.0 for row in rows)

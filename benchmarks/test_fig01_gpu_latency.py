@@ -1,0 +1,12 @@
+"""Benchmark regenerating Fig. 1: GPU rendering latency of seven NeRF models."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig01_gpu_latency
+
+
+def test_fig01_gpu_latency(benchmark):
+    rows = run_once(benchmark, fig01_gpu_latency.run)
+    emit("Fig. 1 - GPU rendering latency", fig01_gpu_latency.format_table(rows))
+    assert len(rows) == 7
+    assert all(row.exceeds_vr_threshold for row in rows)

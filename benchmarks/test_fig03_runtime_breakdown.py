@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig. 3: GPU runtime breakdown per NeRF model."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig03_runtime_breakdown
+
+
+def test_fig03_runtime_breakdown(benchmark):
+    rows = run_once(benchmark, fig03_runtime_breakdown.run)
+    emit("Fig. 3 - GPU runtime breakdown", fig03_runtime_breakdown.format_table(rows))
+    assert all(row.gemm_fraction > 0.3 for row in rows)

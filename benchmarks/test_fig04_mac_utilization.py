@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 4: NVDLA / TPU MAC utilisation scenarios."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig04_mac_utilization
+
+
+def test_fig04_mac_utilization(benchmark):
+    rows = run_once(benchmark, fig04_mac_utilization.run)
+    emit("Fig. 4 - MAC utilisation", fig04_mac_utilization.format_table(rows))
+    by_key = {row.scenario: row for row in rows}
+    assert by_key["irregular_dense_gemm"].tpu_utilization == 1.0
+    assert by_key["irregular_dense_gemm"].nvdla_utilization < 0.1

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig. 6(b): multiplier grid and fetch size per mode."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig06_fetch_sizes
+
+
+def test_fig06_fetch_sizes(benchmark):
+    rows = run_once(benchmark, fig06_fetch_sizes.run)
+    emit("Fig. 6(b) - fetch sizes", fig06_fetch_sizes.format_table(rows))
+    assert [row.num_multipliers for row in rows] == [64**2, 128**2, 256**2]

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 7: memory footprint vs sparsity per format."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig07_footprint
+from repro.sparse.formats import Precision, SparsityFormat
+
+
+def test_fig07_footprint(benchmark):
+    series = run_once(benchmark, fig07_footprint.run)
+    emit("Fig. 7 - normalised footprints", fig07_footprint.format_table(series))
+    crossover_16 = fig07_footprint.crossover_sparsity(series, Precision.INT16)
+    crossover_4 = fig07_footprint.crossover_sparsity(series, Precision.INT4)
+    assert crossover_16[SparsityFormat.COO] < crossover_4[SparsityFormat.COO]

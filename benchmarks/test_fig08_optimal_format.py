@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 8: optimal sparsity format per ratio and mode."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig08_optimal_format
+from repro.sparse.formats import SparsityFormat
+
+
+def test_fig08_optimal_format(benchmark):
+    rows = run_once(benchmark, fig08_optimal_format.run)
+    emit("Fig. 8 - optimal formats", fig08_optimal_format.format_table(rows))
+    for row in rows:
+        assert row.optimal_format[0] is SparsityFormat.NONE
+        assert row.optimal_format[-1] is not SparsityFormat.NONE

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Fig. 12(c): MAC unit area/power with optimised RT."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig12_reduction_tree
+
+
+def test_fig12_reduction_tree(benchmark):
+    result = run_once(benchmark, fig12_reduction_tree.run)
+    emit("Fig. 12(c) - MAC unit comparison", fig12_reduction_tree.format_table(result))
+    assert 0.2 < result.area_reduction < 0.4
+    assert 0.35 < result.power_reduction < 0.55

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 13(a): input sparsity across rendering stages."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig13_input_sparsity
+
+
+def test_fig13_input_sparsity(benchmark):
+    rows = run_once(benchmark, fig13_input_sparsity.run)
+    emit("Fig. 13(a) - stage sparsity", fig13_input_sparsity.format_table(rows))
+    by_scene = {row.scene: row for row in rows}
+    assert by_scene["mic"].input_ray_marching > by_scene["lego"].input_ray_marching
+    assert all(row.output_relu1 < 0.1 for row in rows)

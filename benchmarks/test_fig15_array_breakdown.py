@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 15: compute-array area/power breakdowns."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig15_array_breakdown
+
+
+def test_fig15_array_breakdown(benchmark):
+    rows = run_once(benchmark, fig15_array_breakdown.run)
+    emit("Fig. 15 - array breakdowns", fig15_array_breakdown.format_table(rows))
+    by_name = {row.name: row for row in rows}
+    assert by_name["Bit-Scalable SIGMA"].total_area_mm2 > by_name["FlexNeRFer MAC Array"].total_area_mm2
+    assert by_name["SIGMA"].total_area_mm2 < by_name["FlexNeRFer MAC Array"].total_area_mm2

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 16: accelerator-level area/power comparison."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig16_cost
+
+
+def test_fig16_cost(benchmark):
+    rows = run_once(benchmark, fig16_cost.run)
+    emit("Fig. 16 - device cost", fig16_cost.format_table(rows))
+    by_device = {row.device: row for row in rows}
+    assert by_device["FlexNeRFer"].meets_area_constraint
+    assert by_device["FlexNeRFer"].meets_power_constraint
+    assert not by_device["RTX 2080 Ti"].meets_power_constraint

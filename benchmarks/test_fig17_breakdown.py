@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 17: FlexNeRFer vs NeuRex cost breakdowns."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig17_breakdown
+
+
+def test_fig17_breakdown(benchmark):
+    result = run_once(benchmark, fig17_breakdown.run)
+    emit("Fig. 17 - accelerator breakdowns", fig17_breakdown.format_table(result))
+    assert result.area_overhead > 0.0
+    assert result.power_overhead > 0.0
+    assert result.format_codec_area_fraction < 0.1

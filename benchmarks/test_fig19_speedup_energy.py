@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 19: speedup / energy gain over the RTX 2080 Ti."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig19_speedup_energy
+from repro.sparse.formats import Precision
+
+
+def test_fig19_speedup_energy(benchmark):
+    points = run_once(
+        benchmark,
+        fig19_speedup_energy.run,
+        models=("nerf", "instant-ngp", "tensorf"),
+    )
+    emit("Fig. 19 - speedup / energy gain", fig19_speedup_energy.format_table(points))
+    neurex = [p.speedup for p in points if p.device == "NeuRex"]
+    assert max(neurex) == min(neurex)  # flat across pruning
+    flex = [
+        p for p in points
+        if p.device == "FlexNeRFer" and p.precision is Precision.INT16
+    ]
+    assert flex[-1].speedup > flex[0].speedup > neurex[0]

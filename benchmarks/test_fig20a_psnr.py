@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 20(a): PSNR vs energy-efficiency per precision."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig20a_psnr
+
+
+def test_fig20a_psnr(benchmark):
+    points = run_once(benchmark, fig20a_psnr.run)
+    emit("Fig. 20(a) - PSNR vs energy efficiency", fig20a_psnr.format_table(points))
+    by_label = {p.label: p for p in points}
+    assert by_label["INT16"].psnr_db > by_label["INT4"].psnr_db
+    assert by_label["INT4 + outliers"].psnr_db >= by_label["INT4"].psnr_db

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 20(b): speedup vs batch size / scene complexity."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig20b_batch
+
+
+def test_fig20b_batch(benchmark):
+    points = run_once(benchmark, fig20b_batch.run)
+    emit("Fig. 20(b) - batch-size sweep", fig20b_batch.format_table(points))
+    mic = [p for p in points if p.scene == "mic"]
+    palace = [p for p in points if p.scene == "palace"]
+    assert min(p.flexnerfer_latency_s for p in mic) < min(
+        p.flexnerfer_latency_s for p in palace
+    )

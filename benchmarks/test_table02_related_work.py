@@ -1,0 +1,12 @@
+"""Benchmark regenerating Table 2: qualitative flexible-NoC comparison."""
+
+from conftest import emit, run_once
+
+from repro.experiments import table02_related_work
+
+
+def test_table02_related_work(benchmark):
+    rows = run_once(benchmark, table02_related_work.run)
+    emit("Table 2 - related work", table02_related_work.format_table(rows))
+    flexnerfer = rows[-1]
+    assert flexnerfer.multi_sparsity_format and flexnerfer.bit_level_flexibility

@@ -1,0 +1,48 @@
+"""Quickstart: estimate FlexNeRFer's cost and per-model rendering performance.
+
+Builds the accelerator model, prints its area/power (paper Fig. 16), then
+renders one frame of every NeRF model at INT16 and compares the latency and
+energy against an RTX 2080 Ti and the NeuRex accelerator.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FlexNeRFer, Precision
+from repro.baselines import GPUModel, NeuRex
+from repro.nerf.models import FrameConfig, all_models
+
+
+def main() -> None:
+    accelerator = FlexNeRFer()
+    gpu = GPUModel()
+    neurex = NeuRex()
+
+    area = accelerator.area()
+    print(f"FlexNeRFer: {area.total_mm2:.1f} mm^2 in 28nm")
+    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
+        print(f"  power @ {precision.name}: {accelerator.power(precision).total_w:.1f} W")
+
+    config = FrameConfig(image_width=800, image_height=800, batch_size=4096)
+    header = (
+        f"{'model':<12} {'GPU [ms]':>10} {'NeuRex [ms]':>12} {'FlexNeRFer [ms]':>16} "
+        f"{'speedup':>8} {'energy gain':>12}"
+    )
+    print("\nPer-frame comparison (INT16, no pruning):")
+    print(header)
+    for model in all_models():
+        workload = model.build_workload(config)
+        gpu_report = gpu.render_frame(workload)
+        neurex_report = neurex.render_frame(workload)
+        flex_report = accelerator.render_frame(workload, precision=Precision.INT16)
+        print(
+            f"{model.name:<12} {gpu_report.frame_time_ms:>10.1f} "
+            f"{neurex_report.frame_time_ms:>12.1f} {flex_report.frame_time_ms:>16.1f} "
+            f"{gpu_report.latency_s / flex_report.latency_s:>8.1f} "
+            f"{gpu_report.energy_j / flex_report.energy_j:>12.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Dense mapping of a sparse irregular GEMM onto the MAC array (paper Fig. 5).
+
+Generates a small sparse irregular GEMM, measures the sparsity of the input
+tile online (the sparsity-ratio calculator of Section 4.3), compresses both
+operands into their optimal formats, maps every non-zero product densely onto
+a small MAC array through the distribution network, and verifies that the
+reduced outputs match a plain matrix multiplication.
+
+Run with:  python examples/sparse_gemm_mapping.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compression import SparsityAwareCompressor
+from repro.core.distribution import DistributionNetwork
+from repro.core.mac_array import MACArray
+from repro.sparse.formats import Precision
+from repro.sparse.tensor import random_sparse_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    precision = Precision.INT8
+    activations = random_sparse_matrix((12, 20), sparsity=0.65, precision=precision, rng=rng)
+    weights = random_sparse_matrix((20, 14), sparsity=0.40, precision=precision, rng=rng)
+
+    compressor = SparsityAwareCompressor(precision)
+    activation_record = compressor.compress_input(activations)
+    compressor.analyze_weights("layer0", weights)
+    weight_record = compressor.compress_weights("layer0", weights)
+    print("Online sparsity-aware compression:")
+    print(
+        f"  activations: sparsity {activation_record.decision.sparsity_ratio:.2f}, "
+        f"format {activation_record.encoded.fmt.value}, "
+        f"compression {activation_record.compression_ratio:.2f}x"
+    )
+    print(
+        f"  weights:     sparsity {1 - np.count_nonzero(weights) / weights.size:.2f}, "
+        f"format {weight_record.encoded.fmt.value}, "
+        f"compression {weight_record.compression_ratio:.2f}x"
+    )
+
+    network = DistributionNetwork(array_rows=8, array_cols=8)
+    plan = network.map_sparse_gemm(activations, weights)
+    costs = network.distribute(plan)
+    print("\nDense mapping onto an 8x8 MAC array:")
+    print(f"  non-zero products mapped: {plan.num_products}")
+    print(f"  array passes:             {plan.num_passes}")
+    print(f"  MAC utilisation:          {plan.utilization * 100:.1f}%")
+    print(f"  per-row dataflows (pass 0): "
+          f"{[mode.value for mode in plan.row_dataflows()]}")
+    print(f"  buffer reads / switch hops / mesh hops: "
+          f"{costs['buffer_reads']} / {costs['switch_traversals']} / {costs['mesh_traversals']}")
+
+    array = MACArray(rows=8, cols=8)
+    result = array.gemm(activations, weights, precision)
+    reference = activations @ weights
+    print("\nFunctional check: MAC-array GEMM equals NumPy matmul:",
+          bool(np.array_equal(result, reference)))
+
+
+if __name__ == "__main__":
+    main()

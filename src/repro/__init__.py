@@ -1,0 +1,31 @@
+"""FlexNeRFer reproduction: a multi-dataflow, adaptive sparsity-aware
+accelerator model for on-device NeRF rendering (ISCA 2025).
+
+Public API overview
+-------------------
+
+* :class:`repro.FlexNeRFer` -- the accelerator model (area/power reports and
+  frame-level latency/energy estimation).
+* :mod:`repro.nerf` -- the NeRF substrate: functional renderers and the seven
+  per-model workload descriptors.
+* :mod:`repro.baselines` -- the GPU, NeuRex and compute-array baselines.
+* :mod:`repro.sparse`, :mod:`repro.quant`, :mod:`repro.noc`, :mod:`repro.hw`,
+  :mod:`repro.sim` -- the substrates (sparse formats, quantization, NoCs,
+  hardware cost models, performance simulation).
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.core import FlexNeRFer, FlexNeRFerConfig, FrameReport, MACArray
+from repro.sparse.formats import Precision, SparsityFormat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlexNeRFer",
+    "FlexNeRFerConfig",
+    "FrameReport",
+    "MACArray",
+    "Precision",
+    "SparsityFormat",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baseline devices the paper compares against.
+
+* :mod:`repro.baselines.gpu` -- roofline models of the NVIDIA RTX 2080 Ti and
+  Jetson Xavier NX (Fig. 1, Fig. 3, Fig. 19, Fig. 20);
+* :mod:`repro.baselines.neurex` -- the NeuRex NeRF accelerator (ISCA 2023),
+  the state-of-the-art accelerator baseline (Fig. 16 - Fig. 19);
+* :mod:`repro.baselines.arrays` -- the GEMM/GEMV compute-array baselines of
+  Table 3: SIGMA, Bit Fusion and bit-scalable SIGMA;
+* :mod:`repro.baselines.nvdla` / :mod:`repro.baselines.tpu` -- MAC-utilisation
+  models of the two commercial accelerators analysed in Fig. 4.
+"""
+
+from repro.baselines.gpu import GPUModel, RTX_2080_TI, XAVIER_NX, JETSON_NANO, RTX_4090
+from repro.baselines.neurex import NeuRex
+from repro.baselines.arrays import (
+    BitFusionArray,
+    BitScalableSigmaArray,
+    SigmaArray,
+    TABLE3_BASELINES,
+)
+from repro.baselines.nvdla import NVDLAModel
+from repro.baselines.tpu import TPUModel
+
+__all__ = [
+    "GPUModel",
+    "RTX_2080_TI",
+    "RTX_4090",
+    "XAVIER_NX",
+    "JETSON_NANO",
+    "NeuRex",
+    "SigmaArray",
+    "BitFusionArray",
+    "BitScalableSigmaArray",
+    "TABLE3_BASELINES",
+    "NVDLAModel",
+    "TPUModel",
+]

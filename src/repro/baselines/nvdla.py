@@ -1,0 +1,57 @@
+"""NVDLA-style MAC-utilisation model (paper Fig. 4).
+
+NVDLA's convolution engine multiplies a vector of input channels against a
+set of kernels each cycle: its MAC grid is organised as (atomic input
+channels) x (atomic output kernels).  Utilisation therefore tracks how well
+the layer's channel counts cover those atomics, and collapses for GEMM/GEMV
+work that offers no channel parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NVDLAModel:
+    """Channel-parallel MAC utilisation model."""
+
+    atomic_input_channels: int = 4
+    atomic_output_kernels: int = 4
+
+    @property
+    def num_macs(self) -> int:
+        return self.atomic_input_channels * self.atomic_output_kernels
+
+    def conv_utilization(self, input_channels: int, output_channels: int) -> float:
+        """Utilisation for a convolution layer with the given channel counts."""
+        if input_channels < 1 or output_channels < 1:
+            raise ValueError("channel counts must be positive")
+        in_fill = min(input_channels, self.atomic_input_channels) / self.atomic_input_channels
+        out_fill = (
+            min(output_channels, self.atomic_output_kernels) / self.atomic_output_kernels
+        )
+        return in_fill * out_fill
+
+    def gemm_utilization(
+        self, m: int, n: int, k: int, density: float = 1.0
+    ) -> float:
+        """Utilisation for an irregular (possibly sparse) GEMM.
+
+        Mapped as a 1x1 convolution over a single spatial position, the
+        engine processes one output-kernel group at a time; an irregular N
+        leaves a partially filled tail group, and with only that group in
+        flight the rest of the MAC grid idles.  Zeros cannot be skipped by
+        the dense scheduler, so sparsity does not change the utilisation
+        (it only wastes the work already scheduled).
+        """
+        if min(m, n, k) < 1:
+            raise ValueError("GEMM dimensions must be positive")
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        in_fill = min(k, self.atomic_input_channels) / self.atomic_input_channels
+        tail_outputs = n % self.atomic_output_kernels
+        out_fill = (
+            tail_outputs / self.atomic_output_kernels if tail_outputs else 1.0
+        )
+        return (in_fill * out_fill) / self.atomic_output_kernels

@@ -1,0 +1,54 @@
+"""TPU-style (weight-stationary systolic array) MAC-utilisation model (Fig. 4).
+
+A weight-stationary systolic array pins the weight tile onto its K x N grid
+and streams activations through it.  Utilisation is limited by how well the
+layer's K and N dimensions fill the grid, by how many activation rows (M)
+stream through relative to the pipeline depth, and -- for sparse operands --
+by the fraction of scheduled products that are actually non-zero (the array
+cannot skip zeros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TPUModel:
+    """Weight-stationary systolic-array utilisation model."""
+
+    rows: int = 4    # reduction (K) dimension of the grid
+    cols: int = 4    # output (N) dimension of the grid
+
+    @property
+    def num_macs(self) -> int:
+        return self.rows * self.cols
+
+    def gemm_utilization(
+        self, m: int, n: int, k: int, density: float = 1.0
+    ) -> float:
+        """Utilisation of a (possibly sparse) GEMM of shape (M, N, K)."""
+        if min(m, n, k) < 1:
+            raise ValueError("GEMM dimensions must be positive")
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        k_fill = min(k, self.rows) / self.rows
+        n_fill = min(n, self.cols) / self.cols
+        m_fill = min(m, self.rows) / self.rows
+        return k_fill * n_fill * m_fill * density
+
+    def conv_utilization(
+        self,
+        input_channels: int,
+        output_channels: int,
+        spatial_positions: int,
+        density: float = 1.0,
+    ) -> float:
+        """Utilisation of a convolution lowered to GEMM (im2col).
+
+        K is the input-channel (x kernel window) depth, N the output channels
+        and M the number of output spatial positions streaming through.
+        """
+        return self.gemm_utilization(
+            m=spatial_positions, n=output_channels, k=input_channels, density=density
+        )

@@ -1,0 +1,56 @@
+"""Top-level configuration of the FlexNeRFer accelerator (paper Fig. 14)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.dram import DRAMSpec, LPDDR3
+from repro.sparse.formats import Precision
+
+
+@dataclass(frozen=True)
+class FlexNeRFerConfig:
+    """Static configuration of a FlexNeRFer instance."""
+
+    array_rows: int = 64
+    array_cols: int = 64
+    frequency_hz: float = 800e6
+    default_precision: Precision = Precision.INT16
+
+    # On-chip buffers (paper Fig. 14).
+    input_buffer_bytes: int = 2 << 20
+    output_buffer_bytes: int = 2 << 20
+    weight_buffer_bytes: int = 512 << 10
+    encoding_buffer_bytes: int = 512 << 10
+    program_memory_bytes: int = 16 << 10
+
+    # Encoding unit sizing (Section 5.2).
+    pee_lanes: int = 64
+    hee_units: int = 64
+
+    # Local memory.
+    dram: DRAMSpec = field(default_factory=lambda: LPDDR3)
+
+    # Fraction of total execution time spent on format conversion in 16-bit
+    # mode (paper Fig. 18(a) reports 8.7 %); expressed as an overhead relative
+    # to the compute time inside the cycle model.
+    format_conversion_overhead: float = 0.095
+
+    def __post_init__(self) -> None:
+        if self.array_rows < 1 or self.array_cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        for name in (
+            "input_buffer_bytes",
+            "output_buffer_bytes",
+            "weight_buffer_bytes",
+            "encoding_buffer_bytes",
+            "program_memory_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def num_mac_units(self) -> int:
+        return self.array_rows * self.array_cols

@@ -1,0 +1,174 @@
+"""Bit-scalable MAC unit (Bit Fusion style, paper Fig. 6(a) and Fig. 12).
+
+One MAC unit contains sixteen 4-bit x 4-bit signed sub-multipliers whose
+partial products are fused by a shift-add reduction tree:
+
+* **INT16 mode** -- all sixteen sub-multipliers cooperate on a single
+  16-bit x 16-bit product (4x4 nibble decomposition);
+* **INT8 mode**  -- four groups of four sub-multipliers each compute an
+  8-bit x 8-bit product;
+* **INT4 mode**  -- every sub-multiplier computes an independent 4-bit
+  product.
+
+The functional model here is bit-exact: tests check the fused results against
+plain integer multiplication.  The cost model composes the unit from the
+28 nm component library and reproduces the optimised / unoptimised comparison
+of paper Fig. 12(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.components import DEFAULT_LIBRARY, ComponentLibrary, ComponentSpec
+from repro.sparse.formats import Precision
+
+#: Sub-multipliers per MAC unit (4x4 grid).
+SUB_MULTIPLIERS = 16
+
+#: Shifter counts with and without the shared-shifter optimisation
+#: (paper Section 4.2: 24 -> 16, a 33.3 % reduction).
+SHIFTERS_UNOPTIMIZED = 24
+SHIFTERS_OPTIMIZED = 16
+
+
+def _split_nibbles(value: int, num_nibbles: int) -> list[int]:
+    """Split a signed integer into ``num_nibbles`` 4-bit digits, LSB first.
+
+    All digits are unsigned except the most significant one, which carries the
+    sign -- the standard radix-16 signed decomposition used by fused
+    multiplier arrays.
+    """
+    unsigned = int(value) & ((1 << (4 * num_nibbles)) - 1)
+    digits = [(unsigned >> (4 * i)) & 0xF for i in range(num_nibbles)]
+    # Re-apply the sign to the most significant digit.
+    if digits[-1] >= 8:
+        digits[-1] -= 16
+    return digits
+
+
+@dataclass
+class MACUnitResult:
+    """Result of one MAC-unit cycle."""
+
+    products: list[int]
+    sub_multiplier_ops: int
+    shift_add_ops: int
+
+
+class BitScalableMACUnit:
+    """Functional + cost model of one bit-scalable MAC unit."""
+
+    def __init__(
+        self,
+        optimized_shifters: bool = True,
+        library: ComponentLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        self.optimized_shifters = optimized_shifters
+        self.library = library
+        self.accumulator = 0
+
+    # -- functional model -----------------------------------------------------
+
+    @staticmethod
+    def lanes(precision: Precision) -> int:
+        """Independent multiply lanes provided at ``precision``."""
+        nibbles = precision.bits // 4
+        return SUB_MULTIPLIERS // (nibbles * nibbles)
+
+    def multiply(self, a: int, b: int, precision: Precision) -> int:
+        """Single fused multiplication of two signed ``precision`` operands."""
+        self._check_range(a, precision)
+        self._check_range(b, precision)
+        nibbles = precision.bits // 4
+        a_digits = _split_nibbles(a, nibbles)
+        b_digits = _split_nibbles(b, nibbles)
+        # Sum of shifted partial products of the sub-multipliers.
+        result = 0
+        for i, da in enumerate(a_digits):
+            for j, db in enumerate(b_digits):
+                result += (da * db) << (4 * (i + j))
+        return result
+
+    def multiply_vector(
+        self, a: np.ndarray, b: np.ndarray, precision: Precision
+    ) -> MACUnitResult:
+        """Process one cycle's worth of operands.
+
+        The number of (a, b) pairs must equal the lane count of the precision
+        mode: 1 pair at INT16, 4 at INT8, 16 at INT4.
+        """
+        a = np.asarray(a).ravel()
+        b = np.asarray(b).ravel()
+        lanes = self.lanes(precision)
+        if a.size != lanes or b.size != lanes:
+            raise ValueError(
+                f"{precision.name} mode processes {lanes} operand pairs per "
+                f"cycle, got {a.size} and {b.size}"
+            )
+        products = [
+            self.multiply(int(a[i]), int(b[i]), precision) for i in range(lanes)
+        ]
+        nibbles = precision.bits // 4
+        return MACUnitResult(
+            products=products,
+            sub_multiplier_ops=lanes * nibbles * nibbles,
+            shift_add_ops=SUB_MULTIPLIERS - lanes,
+        )
+
+    def multiply_accumulate(
+        self, a: np.ndarray, b: np.ndarray, precision: Precision
+    ) -> int:
+        """Multiply a cycle's operands and accumulate the lane sum."""
+        result = self.multiply_vector(a, b, precision)
+        self.accumulator += sum(result.products)
+        return self.accumulator
+
+    def reset(self) -> None:
+        self.accumulator = 0
+
+    @staticmethod
+    def _check_range(value: int, precision: Precision) -> None:
+        if not precision.min_value <= value <= precision.max_value:
+            raise ValueError(
+                f"operand {value} outside {precision.name} range "
+                f"[{precision.min_value}, {precision.max_value}]"
+            )
+
+    # -- cost model -------------------------------------------------------------
+
+    @property
+    def num_shifters(self) -> int:
+        return SHIFTERS_OPTIMIZED if self.optimized_shifters else SHIFTERS_UNOPTIMIZED
+
+    def cost(self) -> ComponentSpec:
+        """Area (um^2) and power (mW) of the MAC unit (paper Fig. 12(c)).
+
+        The unoptimised unit replicates shifters for identical shift amounts
+        and lacks the pipelined CLB datapath, which costs extra registers and
+        switching power.
+        """
+        counts = {
+            "mult4x4": SUB_MULTIPLIERS,
+            "shifter4": self.num_shifters,
+            "adder8": 8,
+            "adder16": 4,
+            "adder32": 2,
+            "flex_adder_node": 4,
+            "accum_reg32": 1,
+            "clb_link": 16,
+            "pipe_reg16": 4 if self.optimized_shifters else 0,
+        }
+        spec = self.library.compose("mac-unit", counts)
+        if not self.optimized_shifters:
+            # Duplicated shift/add activity and longer unbalanced wires raise
+            # switching power well beyond the pure component delta (the layout
+            # factors below are calibrated against paper Fig. 12(c)).
+            spec = ComponentSpec(
+                name="mac-unit-unoptimized",
+                area_um2=spec.area_um2 * 1.314,
+                power_mw=spec.power_mw * 1.70,
+            )
+        return spec

@@ -1,0 +1,11 @@
+"""Experiment modules regenerating every table and figure of the evaluation.
+
+Each module exposes a ``run()`` function returning plain dataclasses (rows /
+series) plus a ``format_table()`` helper used by the examples and benchmark
+harnesses.  The registry maps experiment identifiers (``fig01`` ... ``fig20b``,
+``table02``, ``table03``) to their modules.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

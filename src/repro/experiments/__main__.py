@@ -1,0 +1,41 @@
+"""Command-line entry point: run one or all experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig19
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _run_one(key: str) -> None:
+    module = get_experiment(key)
+    start = time.time()
+    result = module.run()
+    elapsed = time.time() - start
+    print(f"===== {key}: {EXPERIMENTS[key][1]} ({elapsed:.1f}s) =====")
+    print(module.format_table(result))
+    print()
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("Available experiments:")
+        for key, (_, description) in EXPERIMENTS.items():
+            print(f"  {key:<22} {description}")
+        return 0
+    keys = list(EXPERIMENTS) if argv[0] == "all" else argv
+    for key in keys:
+        _run_one(key)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,58 @@
+"""Fig. 1: rendering latency of seven NeRF models on the RTX 2080 Ti.
+
+The paper shows that every model exceeds the 16.8 ms VR frame threshold and
+the 8.3 ms game frame threshold on a desktop GPU, motivating a dedicated
+accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUModel, GPUSpec, RTX_2080_TI
+from repro.nerf.models import FrameConfig, all_models
+
+#: Frame-time thresholds from the paper (Section 1).
+VR_FRAME_THRESHOLD_MS = 16.8
+GAME_FRAME_THRESHOLD_MS = 8.3
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """GPU rendering latency of one NeRF model."""
+
+    model: str
+    latency_ms: float
+    exceeds_vr_threshold: bool
+    exceeds_game_threshold: bool
+
+
+def run(
+    spec: GPUSpec = RTX_2080_TI, config: FrameConfig | None = None
+) -> list[LatencyRow]:
+    """Render one frame of every model on the GPU model and report latency."""
+    config = config or FrameConfig()
+    gpu = GPUModel(spec)
+    rows = []
+    for model in all_models():
+        report = gpu.render_frame(model.build_workload(config))
+        rows.append(
+            LatencyRow(
+                model=model.name,
+                latency_ms=report.frame_time_ms,
+                exceeds_vr_threshold=report.frame_time_ms > VR_FRAME_THRESHOLD_MS,
+                exceeds_game_threshold=report.frame_time_ms > GAME_FRAME_THRESHOLD_MS,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[LatencyRow]) -> str:
+    """Human-readable table mirroring the figure's bar values."""
+    lines = [f"{'model':<14} {'latency [ms]':>14} {'>16.8ms':>8} {'>8.3ms':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row.model:<14} {row.latency_ms:>14.1f} "
+            f"{str(row.exceeds_vr_threshold):>8} {str(row.exceeds_game_threshold):>8}"
+        )
+    return "\n".join(lines)

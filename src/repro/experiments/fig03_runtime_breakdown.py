@@ -1,0 +1,57 @@
+"""Fig. 3: GPU runtime breakdown (GEMM/GEMV vs encoding vs other) per model.
+
+The takeaway reproduced here: GEMM/GEMV dominates every model, and the
+encoding share is substantial for the models with expensive neural feature
+encoding (KiloNeRF, NSVF, Mip-NeRF, Instant-NGP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUModel, RTX_2080_TI
+from repro.nerf.models import FrameConfig, all_models
+from repro.nerf.workload import OpCategory
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """Runtime fractions of one model on the GPU."""
+
+    model: str
+    gemm_fraction: float
+    encoding_fraction: float
+    other_fraction: float
+
+    @property
+    def total(self) -> float:
+        return self.gemm_fraction + self.encoding_fraction + self.other_fraction
+
+
+def run(config: FrameConfig | None = None) -> list[BreakdownRow]:
+    """Compute the per-category runtime fractions for every model."""
+    config = config or FrameConfig()
+    gpu = GPUModel(RTX_2080_TI)
+    rows = []
+    for model in all_models():
+        report = gpu.render_frame(model.build_workload(config))
+        breakdown = report.trace.runtime_breakdown()
+        rows.append(
+            BreakdownRow(
+                model=model.name,
+                gemm_fraction=breakdown[OpCategory.GEMM],
+                encoding_fraction=breakdown[OpCategory.ENCODING],
+                other_fraction=breakdown[OpCategory.OTHER],
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[BreakdownRow]) -> str:
+    lines = [f"{'model':<14} {'GEMM %':>8} {'Encoding %':>12} {'Other %':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row.model:<14} {row.gemm_fraction * 100:>8.1f} "
+            f"{row.encoding_fraction * 100:>12.1f} {row.other_fraction * 100:>9.1f}"
+        )
+    return "\n".join(lines)

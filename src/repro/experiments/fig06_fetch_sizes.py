@@ -1,0 +1,54 @@
+"""Fig. 6(b): multiplier counts and data-fetch sizes per precision mode.
+
+A 64x64 array of bit-scalable MAC units exposes a 64x64 / 128x128 / 256x256
+effective multiplier grid in 16- / 8- / 4-bit mode, and the per-tile operand
+fetch size doubles every time the precision is halved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mac_array import MACArray
+from repro.sim.array_config import ArrayConfig
+from repro.sparse.formats import Precision
+
+
+@dataclass(frozen=True)
+class FetchRow:
+    """One precision mode's row of Fig. 6(b)."""
+
+    precision: Precision
+    grid_rows: int
+    grid_cols: int
+    num_multipliers: int
+    fetch_bytes: int
+
+
+def run(rows: int = 64, cols: int = 64) -> list[FetchRow]:
+    """Compute the multiplier grid and fetch size for every precision mode."""
+    array = MACArray(rows=rows, cols=cols)
+    config = array.array_config()
+    out = []
+    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
+        grid = config.effective_grid(precision)
+        out.append(
+            FetchRow(
+                precision=precision,
+                grid_rows=grid[0],
+                grid_cols=grid[1],
+                num_multipliers=array.num_multipliers(precision),
+                fetch_bytes=config.data_fetch_bytes(precision),
+            )
+        )
+    return out
+
+
+def format_table(rows: list[FetchRow]) -> str:
+    lines = [f"{'mode':<8} {'grid':>12} {'# multipliers':>14} {'fetch [B]':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row.precision.name:<8} {f'{row.grid_rows}x{row.grid_cols}':>12} "
+            f"{row.num_multipliers:>14,} {row.fetch_bytes:>10,}"
+        )
+    return "\n".join(lines)

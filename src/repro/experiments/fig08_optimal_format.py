@@ -1,0 +1,73 @@
+"""Fig. 8: the footprint-minimising sparsity format per sparsity ratio and mode.
+
+Dense storage wins at low sparsity, Bitmap in the mid range, CSC/CSR at high
+sparsity and COO only at extreme sparsity; the transition points move to
+higher sparsity as the precision decreases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig07_footprint import SPARSITY_PERCENTAGES
+from repro.sparse.formats import Precision, SparsityFormat
+from repro.sparse.selector import FormatSelector
+
+
+@dataclass(frozen=True)
+class OptimalFormatRow:
+    """Optimal format at every swept sparsity ratio for one precision mode."""
+
+    precision: Precision
+    sparsity_percent: tuple[float, ...]
+    optimal_format: tuple[SparsityFormat, ...]
+
+    def format_at(self, sparsity_percent: float) -> SparsityFormat:
+        """Optimal format at one of the swept sparsity points."""
+        try:
+            index = self.sparsity_percent.index(sparsity_percent)
+        except ValueError as exc:
+            raise ValueError(
+                f"sparsity {sparsity_percent}% was not part of the sweep"
+            ) from exc
+        return self.optimal_format[index]
+
+    def transition_points(self) -> list[tuple[float, SparsityFormat]]:
+        """Sparsity ratios at which the optimal format changes."""
+        points = []
+        previous = None
+        for pct, fmt in zip(self.sparsity_percent, self.optimal_format):
+            if fmt is not previous:
+                points.append((pct, fmt))
+                previous = fmt
+        return points
+
+
+def run(
+    precisions: tuple[Precision, ...] = (Precision.INT4, Precision.INT8, Precision.INT16),
+) -> list[OptimalFormatRow]:
+    """Sweep the format selector across sparsity ratios for every mode."""
+    selector = FormatSelector()
+    rows = []
+    for precision in precisions:
+        decisions = selector.sweep(
+            [pct / 100.0 for pct in SPARSITY_PERCENTAGES], precision
+        )
+        rows.append(
+            OptimalFormatRow(
+                precision=precision,
+                sparsity_percent=tuple(SPARSITY_PERCENTAGES),
+                optimal_format=tuple(decision.fmt for decision in decisions),
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[OptimalFormatRow]) -> str:
+    lines = []
+    for row in rows:
+        transitions = " -> ".join(
+            f"{fmt.value}@{pct:g}%" for pct, fmt in row.transition_points()
+        )
+        lines.append(f"{row.precision.name:<6} {transitions}")
+    return "\n".join(lines)

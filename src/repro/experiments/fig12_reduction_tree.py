@@ -1,0 +1,64 @@
+"""Fig. 12(c): area/power of the MAC unit with and without the optimised RT.
+
+FlexNeRFer shares shifters performing identical shift amounts (24 -> 16
+shifters) and pipelines the CLB datapath, reducing the MAC unit's area by
+~28 % and its power by ~46 % relative to the unoptimised bit-scalable unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mac_unit import BitScalableMACUnit
+from repro.core.reduction import MACUnitReductionTree
+
+
+@dataclass(frozen=True)
+class MACUnitComparison:
+    """Cost comparison between the unoptimised and optimised MAC units."""
+
+    unoptimized_area_um2: float
+    optimized_area_um2: float
+    unoptimized_power_mw: float
+    optimized_power_mw: float
+    unoptimized_shifters: int
+    optimized_shifters: int
+
+    @property
+    def area_reduction(self) -> float:
+        return 1.0 - self.optimized_area_um2 / self.unoptimized_area_um2
+
+    @property
+    def power_reduction(self) -> float:
+        return 1.0 - self.optimized_power_mw / self.unoptimized_power_mw
+
+    @property
+    def shifter_reduction(self) -> float:
+        return 1.0 - self.optimized_shifters / self.unoptimized_shifters
+
+
+def run() -> MACUnitComparison:
+    """Compose both MAC-unit variants from the component library."""
+    optimized = BitScalableMACUnit(optimized_shifters=True)
+    unoptimized = BitScalableMACUnit(optimized_shifters=False)
+    return MACUnitComparison(
+        unoptimized_area_um2=unoptimized.cost().area_um2,
+        optimized_area_um2=optimized.cost().area_um2,
+        unoptimized_power_mw=unoptimized.cost().power_mw,
+        optimized_power_mw=optimized.cost().power_mw,
+        unoptimized_shifters=MACUnitReductionTree(optimized=False).num_shifters,
+        optimized_shifters=MACUnitReductionTree(optimized=True).num_shifters,
+    )
+
+
+def format_table(result: MACUnitComparison) -> str:
+    return "\n".join(
+        [
+            f"{'':<12} {'unoptimized':>12} {'FlexNeRFer':>12}",
+            f"{'area [um2]':<12} {result.unoptimized_area_um2:>12.1f} {result.optimized_area_um2:>12.1f}",
+            f"{'power [mW]':<12} {result.unoptimized_power_mw:>12.2f} {result.optimized_power_mw:>12.2f}",
+            f"{'# shifters':<12} {result.unoptimized_shifters:>12} {result.optimized_shifters:>12}",
+            f"area reduction  {result.area_reduction * 100:.1f}%",
+            f"power reduction {result.power_reduction * 100:.1f}%",
+        ]
+    )

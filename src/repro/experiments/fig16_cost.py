@@ -1,0 +1,80 @@
+"""Fig. 16: accelerator-level area / power vs. GPUs and NeuRex.
+
+Both NeuRex and FlexNeRFer fit the on-device constraints (< 100 mm^2 and
+< 10 W); the GPUs do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import RTX_2080_TI, XAVIER_NX, GPUSpec
+from repro.baselines.neurex import NeuRex
+from repro.core.accelerator import FlexNeRFer
+from repro.sparse.formats import Precision
+
+#: On-device integration constraints quoted in the paper.
+AREA_CONSTRAINT_MM2 = 100.0
+POWER_CONSTRAINT_W = 10.0
+
+
+@dataclass(frozen=True)
+class DeviceCostRow:
+    """Area / power of one device."""
+
+    device: str
+    area_mm2: float
+    power_w: dict[str, float]
+    meets_area_constraint: bool
+    meets_power_constraint: bool
+
+
+def run(
+    gpus: tuple[GPUSpec, ...] = (RTX_2080_TI, XAVIER_NX),
+) -> list[DeviceCostRow]:
+    """Collect area / power for the GPUs, NeuRex and FlexNeRFer."""
+    rows = []
+    for spec in gpus:
+        rows.append(
+            DeviceCostRow(
+                device=spec.name,
+                area_mm2=spec.area_mm2,
+                power_w={"typical": spec.typical_power_w},
+                meets_area_constraint=spec.area_mm2 < AREA_CONSTRAINT_MM2,
+                meets_power_constraint=spec.typical_power_w < POWER_CONSTRAINT_W,
+            )
+        )
+    neurex = NeuRex()
+    rows.append(
+        DeviceCostRow(
+            device="NeuRex",
+            area_mm2=neurex.area().total_mm2,
+            power_w={"INT16": neurex.power().total_w},
+            meets_area_constraint=neurex.area().total_mm2 < AREA_CONSTRAINT_MM2,
+            meets_power_constraint=neurex.power().total_w < POWER_CONSTRAINT_W,
+        )
+    )
+    flex = FlexNeRFer()
+    flex_power = {
+        precision.name: flex.power(precision).total_w
+        for precision in (Precision.INT16, Precision.INT8, Precision.INT4)
+    }
+    rows.append(
+        DeviceCostRow(
+            device="FlexNeRFer",
+            area_mm2=flex.area().total_mm2,
+            power_w=flex_power,
+            meets_area_constraint=flex.area().total_mm2 < AREA_CONSTRAINT_MM2,
+            meets_power_constraint=max(flex_power.values()) < POWER_CONSTRAINT_W,
+        )
+    )
+    return rows
+
+
+def format_table(rows: list[DeviceCostRow]) -> str:
+    lines = [f"{'device':<14} {'area [mm2]':>10} {'power [W]':>28} {'fits?':>6}"]
+    for row in rows:
+        power = ", ".join(f"{k}:{v:.1f}" for k, v in row.power_w.items())
+        fits = row.meets_area_constraint and row.meets_power_constraint
+        lines.append(f"{row.device:<14} {row.area_mm2:>10.1f} {power:>28} {str(fits):>6}")
+    return "\n".join(lines)

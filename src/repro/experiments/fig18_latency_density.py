@@ -1,0 +1,96 @@
+"""Fig. 18: normalised latency breakdown and compute density vs NeuRex.
+
+FlexNeRFer's flexible NoC and sparsity support cut latency to a fraction of
+NeuRex at INT16, and further at INT8 / INT4; despite its larger area this
+yields a higher compute density (performance per mm^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.neurex import NeuRex
+from repro.core.accelerator import FlexNeRFer
+from repro.nerf.models import FrameConfig, get_model
+from repro.sparse.formats import Precision
+
+
+@dataclass(frozen=True)
+class LatencyDensityRow:
+    """One device/precision point of Fig. 18."""
+
+    device: str
+    precision: Precision | None
+    latency_s: float
+    normalized_latency: float
+    compute_time_s: float
+    dram_time_s: float
+    format_conversion_time_s: float
+    area_mm2: float
+    compute_density: float       # normalised perf / area relative to NeuRex
+
+    @property
+    def format_conversion_fraction(self) -> float:
+        return self.format_conversion_time_s / self.latency_s if self.latency_s else 0.0
+
+
+def run(
+    model_name: str = "instant-ngp", config: FrameConfig | None = None
+) -> list[LatencyDensityRow]:
+    """Render one model on NeuRex and FlexNeRFer at INT16/8/4."""
+    config = config or FrameConfig()
+    workload = get_model(model_name).build_workload(config)
+
+    neurex = NeuRex()
+    neurex_report = neurex.render_frame(workload)
+    neurex_area = neurex.area().total_mm2
+    neurex_components = neurex_report.trace.time_by_component()
+
+    rows = [
+        LatencyDensityRow(
+            device="NeuRex",
+            precision=Precision.INT16,
+            latency_s=neurex_report.latency_s,
+            normalized_latency=1.0,
+            compute_time_s=neurex_components["compute"],
+            dram_time_s=neurex_components["dram"],
+            format_conversion_time_s=neurex_components["format_conversion"],
+            area_mm2=neurex_area,
+            compute_density=1.0,
+        )
+    ]
+
+    flex = FlexNeRFer()
+    flex_area = flex.area().total_mm2
+    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
+        report = flex.render_frame(workload, precision=precision)
+        components = report.trace.time_by_component()
+        normalized = report.latency_s / neurex_report.latency_s
+        density = (1.0 / normalized) * (neurex_area / flex_area)
+        rows.append(
+            LatencyDensityRow(
+                device="FlexNeRFer",
+                precision=precision,
+                latency_s=report.latency_s,
+                normalized_latency=normalized,
+                compute_time_s=components["compute"],
+                dram_time_s=components["dram"],
+                format_conversion_time_s=components["format_conversion"],
+                area_mm2=flex_area,
+                compute_density=density,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[LatencyDensityRow]) -> str:
+    lines = [
+        f"{'device':<12} {'mode':<6} {'norm latency':>12} {'density':>9} {'fmt conv %':>11}"
+    ]
+    for row in rows:
+        mode = row.precision.name if row.precision else "-"
+        lines.append(
+            f"{row.device:<12} {mode:<6} {row.normalized_latency:>12.3f} "
+            f"{row.compute_density:>9.2f} {row.format_conversion_fraction * 100:>11.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Fig. 19: speedup and energy-efficiency gain over the RTX 2080 Ti.
+
+NeuRex's gains are flat because it supports neither sparsity nor precision
+flexibility; FlexNeRFer's gains grow with structured pruning and with lower
+precision modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gpu import GPUModel, RTX_2080_TI
+from repro.baselines.neurex import NeuRex
+from repro.core.accelerator import FlexNeRFer
+from repro.nerf.models import FrameConfig, all_models, get_model
+from repro.sparse.formats import Precision
+
+#: Pruning ratios swept in the figure.
+PRUNING_RATIOS = (0.0, 0.3, 0.5, 0.7, 0.9)
+
+#: Default model subset for quick runs (the full figure averages all seven).
+DEFAULT_MODELS = ("nerf", "instant-ngp", "tensorf")
+
+
+@dataclass(frozen=True)
+class GainPoint:
+    """One bar of Fig. 19: a device/precision/pruning combination."""
+
+    device: str
+    precision: Precision | None
+    pruning_ratio: float
+    speedup: float
+    energy_efficiency_gain: float
+
+
+def _geomean(values: list[float]) -> float:
+    return float(np.exp(np.mean(np.log(np.asarray(values)))))
+
+
+def run(
+    models: tuple[str, ...] = DEFAULT_MODELS,
+    pruning_ratios: tuple[float, ...] = PRUNING_RATIOS,
+    config: FrameConfig | None = None,
+) -> list[GainPoint]:
+    """Sweep device x precision x pruning over ``models`` and average the gains."""
+    config = config or FrameConfig()
+    if models == ("all",):
+        workloads = [m.build_workload(config) for m in all_models()]
+    else:
+        workloads = [get_model(name).build_workload(config) for name in models]
+
+    gpu = GPUModel(RTX_2080_TI)
+    gpu_reports = [gpu.render_frame(w) for w in workloads]
+
+    neurex = NeuRex()
+    flex = FlexNeRFer()
+    points: list[GainPoint] = []
+
+    for pruning in pruning_ratios:
+        speedups, energy_gains = [], []
+        for workload, gpu_report in zip(workloads, gpu_reports):
+            report = neurex.render_frame(workload, pruning_ratio=pruning)
+            speedups.append(gpu_report.latency_s / report.latency_s)
+            energy_gains.append(gpu_report.energy_j / report.energy_j)
+        points.append(
+            GainPoint(
+                device="NeuRex",
+                precision=Precision.INT16,
+                pruning_ratio=pruning,
+                speedup=_geomean(speedups),
+                energy_efficiency_gain=_geomean(energy_gains),
+            )
+        )
+
+    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
+        for pruning in pruning_ratios:
+            speedups, energy_gains = [], []
+            for workload, gpu_report in zip(workloads, gpu_reports):
+                report = flex.render_frame(
+                    workload, precision=precision, pruning_ratio=pruning
+                )
+                speedups.append(gpu_report.latency_s / report.latency_s)
+                energy_gains.append(gpu_report.energy_j / report.energy_j)
+            points.append(
+                GainPoint(
+                    device="FlexNeRFer",
+                    precision=precision,
+                    pruning_ratio=pruning,
+                    speedup=_geomean(speedups),
+                    energy_efficiency_gain=_geomean(energy_gains),
+                )
+            )
+    return points
+
+
+def format_table(points: list[GainPoint]) -> str:
+    lines = [f"{'device':<12} {'mode':<6} {'pruning %':>9} {'speedup':>9} {'energy gain':>12}"]
+    for point in points:
+        mode = point.precision.name if point.precision else "-"
+        lines.append(
+            f"{point.device:<12} {mode:<6} {point.pruning_ratio * 100:>9.0f} "
+            f"{point.speedup:>9.1f} {point.energy_efficiency_gain:>12.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Table 2: qualitative comparison of flexible-NoC related work.
+
+FlexNeRFer is the only design combining dataflow flexibility (unicast /
+multicast / broadcast), multi-sparsity-format support and bit-level
+flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RelatedWorkRow:
+    """One row of the qualitative comparison table."""
+
+    name: str
+    dataflow_flexibility: bool
+    dataflow_modes: str
+    multi_sparsity_format: bool
+    supported_formats: str
+    bit_level_flexibility: bool
+    bit_widths: str
+
+
+ROWS = (
+    RelatedWorkRow("Microswitch", True, "U, M, B", False, "N/A", False, "-"),
+    RelatedWorkRow("Eyeriss v2", True, "U, M, B", False, "N/A", False, "8"),
+    RelatedWorkRow("SIGMA", True, "U, M, B", False, "Bitmap", False, "16"),
+    RelatedWorkRow("Flexagon", True, "IP, OP, RP", False, "CSC/CSR", False, "-"),
+    RelatedWorkRow("Trapezoid", True, "IP, RP", False, "CSC/CSR", False, "32"),
+    RelatedWorkRow("FEATHER", True, "U, M, B", False, "N/A", False, "8"),
+    RelatedWorkRow(
+        "FlexNeRFer",
+        True,
+        "U, M, B",
+        True,
+        "CSC/CSR, COO, Bitmap",
+        True,
+        "4, 8, 16",
+    ),
+)
+
+
+def run() -> tuple[RelatedWorkRow, ...]:
+    """Return the comparison table rows (FlexNeRFer last, as in the paper)."""
+    return ROWS
+
+
+def format_table(rows: tuple[RelatedWorkRow, ...]) -> str:
+    lines = [
+        f"{'design':<14} {'dataflows':<12} {'multi-format':<22} {'bit-widths':<10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<14} {row.dataflow_modes:<12} "
+            f"{(row.supported_formats if row.multi_sparsity_format else row.supported_formats):<22} "
+            f"{row.bit_widths:<10}"
+        )
+    return "\n".join(lines)

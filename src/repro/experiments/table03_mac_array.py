@@ -1,0 +1,65 @@
+"""Table 3: MAC-array comparison -- SIGMA, Bit Fusion, bit-scalable SIGMA and
+FlexNeRFer's array (area, power, multiplier counts, peak / effective
+efficiency)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.arrays import ArraySpecRow, TABLE3_BASELINES
+from repro.core.mac_array import MACArray
+from repro.sparse.formats import Precision
+
+
+@dataclass(frozen=True)
+class Table3:
+    """All rows of the Table 3 comparison."""
+
+    rows: tuple[ArraySpecRow, ...]
+
+    def row(self, name: str) -> ArraySpecRow:
+        for entry in self.rows:
+            if entry.name.lower() == name.lower():
+                return entry
+        raise KeyError(f"no Table 3 row named '{name}'")
+
+
+def _flexnerfer_row() -> ArraySpecRow:
+    array = MACArray()
+    precisions = (Precision.INT4, Precision.INT8, Precision.INT16)
+    return ArraySpecRow(
+        name="FlexNeRFer MAC Array",
+        bit_flexible=True,
+        supports_sparsity=True,
+        precisions=precisions,
+        area_mm2=array.area().total_mm2,
+        power_w={p: array.power(p).total_w for p in precisions},
+        peak_tops={p: array.peak_tops(p) for p in precisions},
+        peak_efficiency={p: array.peak_efficiency_tops_per_w(p) for p in precisions},
+        effective_efficiency={
+            p: array.effective_efficiency_tops_per_w(p) for p in precisions
+        },
+        num_multipliers={p: array.num_multipliers(p) for p in precisions},
+    )
+
+
+def run() -> Table3:
+    """Build the full comparison table."""
+    rows = [cls().spec_row() for cls in TABLE3_BASELINES]
+    rows.append(_flexnerfer_row())
+    return Table3(rows=tuple(rows))
+
+
+def format_table(table: Table3) -> str:
+    lines = [
+        f"{'array':<22} {'area [mm2]':>10} {'power [W]':>22} "
+        f"{'peak [TOPS/W]':>22} {'effective [TOPS/W]':>22}"
+    ]
+    for row in table.rows:
+        power = "/".join(f"{row.power_w[p]:.1f}" for p in row.precisions)
+        peak = "/".join(f"{row.peak_efficiency[p]:.1f}" for p in row.precisions)
+        eff = "/".join(f"{row.effective_efficiency[p]:.1f}" for p in row.precisions)
+        lines.append(
+            f"{row.name:<22} {row.area_mm2:>10.1f} {power:>22} {peak:>22} {eff:>22}"
+        )
+    return "\n".join(lines)

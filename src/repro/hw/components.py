@@ -1,0 +1,130 @@
+"""Component-level area/power library at the 28 nm / 800 MHz design point.
+
+The primitive constants below are calibrated so that composed blocks match the
+numbers the paper reports:
+
+* a bit-scalable MAC unit with the *unoptimised* reduction tree (24 shifters)
+  comes to ~6162 um^2 and ~3.42 mW, while FlexNeRFer's optimised unit
+  (16 shared shifters, pipelined CLB datapath) comes to ~4417 um^2 and
+  ~1.86 mW (paper Fig. 12(c));
+* a 64x64 array of the optimised units plus the flexible NoC, array-level
+  reduction tree and format encoder/decoder reaches ~28.6 mm^2 and
+  ~5.5-6.9 W (paper Table 3).
+
+Powers are *average switching* powers at full utilisation; blocks that are
+idle in a given mode contribute a small leakage fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.tech import TECH_28NM, TechnologyNode
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Area and power of one hardware primitive instance."""
+
+    name: str
+    area_um2: float
+    power_mw: float
+
+    def times(self, count: float) -> "ComponentSpec":
+        """Cost of ``count`` instances of this primitive."""
+        return ComponentSpec(
+            name=self.name,
+            area_um2=self.area_um2 * count,
+            power_mw=self.power_mw * count,
+        )
+
+
+class ComponentLibrary:
+    """A named collection of primitive components for a technology node."""
+
+    def __init__(self, tech: TechnologyNode, specs: dict[str, ComponentSpec]) -> None:
+        self.tech = tech
+        self._specs = dict(specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> ComponentSpec:
+        try:
+            return self._specs[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"component '{name}' not in library "
+                f"(known: {sorted(self._specs)})"
+            ) from exc
+
+    def area_um2(self, name: str, count: float = 1) -> float:
+        return self.get(name).area_um2 * count
+
+    def power_mw(self, name: str, count: float = 1) -> float:
+        return self.get(name).power_mw * count
+
+    def compose(self, name: str, counts: dict[str, float]) -> ComponentSpec:
+        """Compose a block from primitive counts."""
+        area = sum(self.get(k).area_um2 * v for k, v in counts.items())
+        power = sum(self.get(k).power_mw * v for k, v in counts.items())
+        return ComponentSpec(name=name, area_um2=area, power_mw=power)
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+
+#: Primitive constants at 28 nm / 800 MHz.  Units: um^2 and mW per instance.
+_PRIMITIVES_28NM = {
+    # 4-bit x 4-bit signed multiplier (the sub-multiplier of the bit-scalable
+    # MAC unit; 16 of them form one MAC unit).
+    "mult4x4": ComponentSpec("mult4x4", area_um2=118.0, power_mw=0.050),
+    # 4-bit configurable left shifter used in the intra-unit reduction tree.
+    "shifter4": ComponentSpec("shifter4", area_um2=52.0, power_mw=0.028),
+    # Adder stages of the intra-unit reduction tree (widths 8..32 bits).
+    "adder8": ComponentSpec("adder8", area_um2=36.0, power_mw=0.018),
+    "adder16": ComponentSpec("adder16", area_um2=60.0, power_mw=0.024),
+    "adder32": ComponentSpec("adder32", area_um2=110.0, power_mw=0.045),
+    # Bypassable adder + index comparator node used for flexible reduction.
+    "flex_adder_node": ComponentSpec("flex_adder_node", area_um2=90.0, power_mw=0.028),
+    # Accumulator register (32-bit) with write-enable.
+    "accum_reg32": ComponentSpec("accum_reg32", area_um2=92.0, power_mw=0.040),
+    # Pipeline register on the CLB datapath (16-bit).
+    "pipe_reg16": ComponentSpec("pipe_reg16", area_um2=44.0, power_mw=0.016),
+    # NoC switches: 2x2 (HM-NoC baseline) and 3x3 (HMF-NoC with feedback).
+    "switch2x2": ComponentSpec("switch2x2", area_um2=210.0, power_mw=0.085),
+    "switch3x3": ComponentSpec("switch3x3", area_um2=295.0, power_mw=0.105),
+    # Narrow (sub-word) 3x3 switch used inside the MAC-unit level HMF-NoC.
+    "switch3x3_small": ComponentSpec("switch3x3_small", area_um2=98.0, power_mw=0.034),
+    # 1D-mesh hop link (wire + repeater + small mux).
+    "mesh_link": ComponentSpec("mesh_link", area_um2=70.0, power_mw=0.022),
+    # Column-level bypass wired link (per 16-bit lane).
+    "clb_link": ComponentSpec("clb_link", area_um2=22.0, power_mw=0.004),
+    # Benes network switching node (SIGMA-style interconnect).
+    "benes_node": ComponentSpec("benes_node", area_um2=180.0, power_mw=0.075),
+    # Popcount unit over a 64-bit word (sparsity-ratio calculator).
+    "popcount64": ComponentSpec("popcount64", area_um2=320.0, power_mw=0.12),
+    # Brent-Kung adder used to accumulate popcounts.
+    "brent_kung32": ComponentSpec("brent_kung32", area_um2=260.0, power_mw=0.10),
+    # Flexible format encoder / decoder lane (per 16-bit element lane).
+    "format_codec_lane": ComponentSpec("format_codec_lane", area_um2=2200.0, power_mw=0.50),
+    # Positional-encoding processing unit (approximated trig, per lane).
+    "pee_lane": ComponentSpec("pee_lane", area_um2=980.0, power_mw=0.31),
+    # DesignWare-style exact trigonometric PE lane (baseline for Section 5.2.1).
+    "pee_lane_designware": ComponentSpec(
+        "pee_lane_designware", area_um2=8036.0, power_mw=3.97
+    ),
+    # Hash-encoding engine units (per lane): coalescing unit, subgrid unit,
+    # trilinear interpolation unit.
+    "hee_coalesce_unit": ComponentSpec("hee_coalesce_unit", area_um2=1450.0, power_mw=0.52),
+    "hee_subgrid_unit": ComponentSpec("hee_subgrid_unit", area_um2=1240.0, power_mw=0.44),
+    "hee_interp_unit": ComponentSpec("hee_interp_unit", area_um2=1680.0, power_mw=0.58),
+    # RISC-V controller core + DMA engine (single instances).
+    "riscv_core": ComponentSpec("riscv_core", area_um2=68000.0, power_mw=22.0),
+    "dma_engine": ComponentSpec("dma_engine", area_um2=42000.0, power_mw=18.0),
+    # INT16 MAC of a dense systolic array (NeuRex-style / TPU-style PE).
+    "mac_int16_dense": ComponentSpec("mac_int16_dense", area_um2=980.0, power_mw=0.30),
+}
+
+
+DEFAULT_LIBRARY = ComponentLibrary(TECH_28NM, _PRIMITIVES_28NM)

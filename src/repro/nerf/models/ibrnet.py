@@ -1,0 +1,131 @@
+"""IBRNet workload descriptor (Wang et al., CVPR 2021).
+
+IBRNet renders by aggregating features from ~10 nearby source views: a CNN
+extracts per-view feature maps, a per-sample MLP + ray transformer weighs the
+source-view features along each ray, and volume rendering composites the
+result.  The CNN and the attention GEMMs dominate, so the GEMM share of
+runtime is the highest among the seven models (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from repro.nerf.models.base import FrameConfig, NeRFModel, RELU_SPARSITY
+from repro.nerf.workload import GEMMOp, MiscOp, Workload
+
+
+class IBRNet(NeRFModel):
+    """Image-based rendering network with a ray transformer."""
+
+    name = "ibrnet"
+    encoding_kind = "positional"
+    uses_empty_space_skipping = False
+
+    num_source_views = 10
+    coarse_samples = 64
+    fine_samples = 64
+    feature_dim = 32
+    transformer_dim = 16
+    mlp_width = 64
+
+    def samples_per_ray(self, config: FrameConfig) -> int:
+        return self.coarse_samples + self.fine_samples
+
+    def _cnn_ops(self, config: FrameConfig) -> list[GEMMOp]:
+        """Feature-extraction CNN over the source views, expressed as im2col GEMMs."""
+        pixels = config.image_width * config.image_height
+        # A small U-Net-like encoder: 3x3 convolutions at full, half and
+        # quarter resolution.  Channels: 3 -> 32 -> 64 -> 128, decoded to 32.
+        layers = [
+            ("conv1", pixels, 32, 3 * 9),
+            ("conv2", pixels // 4, 64, 32 * 9),
+            ("conv3", pixels // 16, 128, 64 * 9),
+            ("deconv", pixels // 4, 64, 128 * 9),
+            ("head", pixels, self.feature_dim, 64 * 9),
+        ]
+        return [
+            GEMMOp(
+                name=f"ibrnet/cnn/{name}",
+                m=m,
+                n=n,
+                k=k,
+                activation_sparsity=0.0 if name == "conv1" else RELU_SPARSITY,
+                precision=config.precision,
+                count=self.num_source_views,
+            )
+            for name, m, n, k in layers
+        ]
+
+    def _aggregation_ops(self, config: FrameConfig, num_samples: int) -> list[GEMMOp]:
+        """Per-sample feature aggregation MLP + ray transformer."""
+        v, d, w = self.num_source_views, self.transformer_dim, self.mlp_width
+        ops = [
+            # Per-sample, per-view feature MLP.
+            GEMMOp(
+                name="ibrnet/agg/view-mlp",
+                m=num_samples * v,
+                n=w,
+                k=self.feature_dim + 4,
+                precision=config.precision,
+            ),
+            GEMMOp(
+                name="ibrnet/agg/view-mlp2",
+                m=num_samples * v,
+                n=d,
+                k=w,
+                activation_sparsity=RELU_SPARSITY,
+                precision=config.precision,
+            ),
+            # Ray transformer: QKV projections and attention over the samples
+            # of each ray (sequence length = samples per ray).
+            GEMMOp(
+                name="ibrnet/transformer/qkv",
+                m=num_samples,
+                n=3 * d,
+                k=d,
+                activation_sparsity=RELU_SPARSITY,
+                precision=config.precision,
+            ),
+            GEMMOp(
+                name="ibrnet/transformer/attention",
+                m=num_samples,
+                n=self.samples_per_ray(config),
+                k=d,
+                precision=config.precision,
+            ),
+            GEMMOp(
+                name="ibrnet/transformer/output",
+                m=num_samples,
+                n=d,
+                k=d,
+                precision=config.precision,
+            ),
+            # Density / colour heads.
+            GEMMOp(
+                name="ibrnet/heads",
+                m=num_samples,
+                n=4,
+                k=d + self.feature_dim,
+                activation_sparsity=RELU_SPARSITY,
+                precision=config.precision,
+            ),
+        ]
+        return ops
+
+    def build_workload(self, config: FrameConfig | None = None) -> Workload:
+        config = config or FrameConfig()
+        samples = self.samples_per_ray(config)
+        num_samples = self.num_samples(config)
+        softmax = MiscOp(
+            name="ibrnet/softmax",
+            flops=num_samples * self.samples_per_ray(config) * 5.0,
+            memory_bytes=num_samples * self.samples_per_ray(config) * 4.0,
+        )
+        ops = [
+            self.sampling_op(config, samples),
+            self.positional_encoding_op(config, num_samples, 3, 4, "pe-relative-dir"),
+            *self._cnn_ops(config),
+            *self._aggregation_ops(config, num_samples),
+            softmax,
+            self.volume_rendering_op(config, num_samples),
+        ]
+        return self.make_workload(config, ops)

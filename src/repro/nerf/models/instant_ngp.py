@@ -1,0 +1,65 @@
+"""Instant-NGP workload descriptor (Mueller et al., SIGGRAPH 2022).
+
+Multi-resolution hash encoding (16 levels x 2 features) feeds a tiny fused
+MLP; an occupancy grid skips most samples before the network.  Hash-table
+lookups dominate memory traffic and the encoding share of runtime on a GPU
+(paper Fig. 3); FlexNeRFer accelerates them with the hash encoding engine.
+"""
+
+from __future__ import annotations
+
+from repro.nerf.models.base import FrameConfig, NeRFModel
+from repro.nerf.workload import Workload
+
+
+class InstantNGP(NeRFModel):
+    """Instant neural graphics primitives."""
+
+    name = "instant-ngp"
+    encoding_kind = "hash"
+    uses_empty_space_skipping = True
+
+    nominal_samples = 96
+    num_levels = 16
+    features_per_level = 2
+    density_width = 64
+    color_width = 64
+    sh_dir_dim = 16     # spherical-harmonics direction encoding
+
+    def samples_per_ray(self, config: FrameConfig) -> int:
+        occupancy = config.scene.target_occupancy
+        return max(6, int(round(self.nominal_samples * occupancy)))
+
+    def _density_shapes(self) -> list[tuple[int, int]]:
+        encoded = self.num_levels * self.features_per_level
+        return [(encoded, self.density_width), (self.density_width, 16)]
+
+    def _color_shapes(self) -> list[tuple[int, int]]:
+        return [
+            (16 + self.sh_dir_dim, self.color_width),
+            (self.color_width, self.color_width),
+            (self.color_width, 3),
+        ]
+
+    def build_workload(self, config: FrameConfig | None = None) -> Workload:
+        config = config or FrameConfig()
+        num_samples = self.num_samples(config)
+        ops = [
+            self.sampling_op(config, self.nominal_samples),
+            self.hash_encoding_op(
+                config, num_samples, self.num_levels, self.features_per_level
+            ),
+            self.positional_encoding_op(config, num_samples, 3, 3, "sh-dir"),
+            *self.mlp_gemms(
+                "instant-ngp/density-mlp", self._density_shapes(), num_samples, config
+            ),
+            *self.mlp_gemms(
+                "instant-ngp/color-mlp",
+                self._color_shapes(),
+                num_samples,
+                config,
+                first_layer_sparsity=0.0,
+            ),
+            self.volume_rendering_op(config, num_samples),
+        ]
+        return self.make_workload(config, ops)

@@ -1,0 +1,61 @@
+"""KiloNeRF workload descriptor (Reiser et al., ICCV 2021).
+
+Thousands of tiny independent MLPs (4 layers, 32 wide) cover the scene; empty
+space skipping removes most samples before network evaluation.  Per-sample
+compute is ~100x smaller than vanilla NeRF, but the positional encoding and
+the tiny irregular GEMMs make the encoding share of runtime much larger and
+GPU utilisation much lower (paper Fig. 3 / Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.nerf.models.base import FrameConfig, NeRFModel
+from repro.nerf.workload import Workload
+
+
+class KiloNeRF(NeRFModel):
+    """NeRF distilled into thousands of tiny MLPs."""
+
+    name = "kilonerf"
+    encoding_kind = "positional"
+    uses_empty_space_skipping = True
+
+    nominal_samples = 192
+    hidden_width = 32
+    num_frequencies_xyz = 10
+    num_frequencies_dir = 4
+
+    def samples_per_ray(self, config: FrameConfig) -> int:
+        occupancy = config.scene.target_occupancy
+        return max(8, int(round(self.nominal_samples * occupancy)))
+
+    def _network_shapes(self) -> list[tuple[int, int]]:
+        xyz_dim = 3 * 2 * self.num_frequencies_xyz
+        dir_dim = 3 * 2 * self.num_frequencies_dir
+        width = self.hidden_width
+        return [
+            (xyz_dim, width),
+            (width, width),
+            (width, 1 + width),        # density + feature
+            (width + dir_dim, width),
+            (width, 3),
+        ]
+
+    def build_workload(self, config: FrameConfig | None = None) -> Workload:
+        config = config or FrameConfig()
+        samples = self.samples_per_ray(config)
+        num_samples = self.num_samples(config)
+        ops = [
+            self.sampling_op(config, self.nominal_samples),
+            self.positional_encoding_op(
+                config, num_samples, 3, self.num_frequencies_xyz, "pe-xyz"
+            ),
+            self.positional_encoding_op(
+                config, num_samples, 3, self.num_frequencies_dir, "pe-dir"
+            ),
+            *self.mlp_gemms(
+                "kilonerf/tiny-mlp", self._network_shapes(), num_samples, config
+            ),
+            self.volume_rendering_op(config, num_samples),
+        ]
+        return self.make_workload(config, ops)

@@ -1,0 +1,67 @@
+"""NSVF workload descriptor (Liu et al., NeurIPS 2020).
+
+Neural Sparse Voxel Fields store learned feature embeddings on a sparse voxel
+octree; samples in empty voxels are skipped.  Each surviving sample gathers a
+trilinearly interpolated 32-d voxel embedding (modelled as a hash-style table
+lookup), positionally encodes it, and evaluates a medium-size MLP.
+"""
+
+from __future__ import annotations
+
+from repro.nerf.models.base import FrameConfig, NeRFModel
+from repro.nerf.workload import EncodingOp, Workload
+
+
+class NSVF(NeRFModel):
+    """Neural sparse voxel fields."""
+
+    name = "nsvf"
+    encoding_kind = "positional"
+    uses_empty_space_skipping = True
+
+    nominal_samples = 192
+    voxel_feature_dim = 32
+    num_frequencies_feature = 6
+    hidden_width = 256
+    num_hidden_layers = 4
+
+    def samples_per_ray(self, config: FrameConfig) -> int:
+        occupancy = config.scene.target_occupancy
+        return max(8, int(round(self.nominal_samples * occupancy * 0.9)))
+
+    def _network_shapes(self) -> list[tuple[int, int]]:
+        encoded_dim = self.voxel_feature_dim * 2 * self.num_frequencies_feature
+        width = self.hidden_width
+        shapes = [(encoded_dim, width)]
+        shapes += [(width, width)] * (self.num_hidden_layers - 1)
+        shapes += [(width, 1 + width), (width, 3)]
+        return shapes
+
+    def build_workload(self, config: FrameConfig | None = None) -> Workload:
+        config = config or FrameConfig()
+        samples = self.samples_per_ray(config)
+        num_samples = self.num_samples(config)
+        voxel_lookup = EncodingOp(
+            name="nsvf/voxel-embedding",
+            kind="hash",
+            num_points=num_samples,
+            input_dim=3,
+            output_dim=self.voxel_feature_dim,
+            table_lookups_per_point=8,
+            # Sparse voxel octree with ~200k occupied corners x 32 features.
+            table_bytes=200_000 * self.voxel_feature_dim * 2.0,
+        )
+        ops = [
+            self.sampling_op(config, self.nominal_samples),
+            voxel_lookup,
+            self.positional_encoding_op(
+                config,
+                num_samples,
+                self.voxel_feature_dim,
+                self.num_frequencies_feature,
+                "pe-feature",
+            ),
+            *self.mlp_gemms("nsvf/mlp", self._network_shapes(), num_samples, config),
+            self.volume_rendering_op(config, num_samples),
+        ]
+        return self.make_workload(config, ops)

@@ -1,0 +1,80 @@
+"""TensoRF workload descriptor (Chen et al., ECCV 2022).
+
+TensoRF factorises the radiance field into vector-matrix (VM) components:
+per sample it gathers plane/line features for every component, combines them
+with a small GEMM, and decodes colour with a compact MLP.  Alpha-mask filtering
+skips empty-space samples.
+"""
+
+from __future__ import annotations
+
+from repro.nerf.models.base import FrameConfig, NeRFModel
+from repro.nerf.workload import EncodingOp, GEMMOp, Workload
+
+
+class TensoRF(NeRFModel):
+    """Tensorial radiance fields (VM decomposition)."""
+
+    name = "tensorf"
+    encoding_kind = "hash"
+    uses_empty_space_skipping = True
+
+    nominal_samples = 440
+    density_components = 16
+    appearance_components = 48
+    feature_dim = 27
+    mlp_width = 128
+    num_frequencies_dir = 2
+
+    def samples_per_ray(self, config: FrameConfig) -> int:
+        occupancy = config.scene.target_occupancy
+        return max(16, int(round(self.nominal_samples * occupancy * 0.7)))
+
+    def build_workload(self, config: FrameConfig | None = None) -> Workload:
+        config = config or FrameConfig()
+        num_samples = self.num_samples(config)
+        components = self.density_components + self.appearance_components
+        # Gathering the VM plane/line factors is a table-lookup-style
+        # operation: 3 planes x (bilinear 4-tap) + 3 lines x (linear 2-tap).
+        factor_gather = EncodingOp(
+            name="tensorf/vm-gather",
+            kind="hash",
+            num_points=num_samples,
+            input_dim=3,
+            output_dim=components,
+            table_lookups_per_point=3 * 4 + 3 * 2,
+            # Three 300^2 feature planes plus three 300-long vectors per
+            # component, stored at 16-bit.
+            table_bytes=components * (3 * 300 * 300 + 3 * 300) * 2.0,
+        )
+        basis_matrix = GEMMOp(
+            name="tensorf/basis-matrix",
+            m=num_samples,
+            n=self.feature_dim,
+            k=self.appearance_components * 3,
+            activation_sparsity=self.input_sparsity(config),
+            precision=config.precision,
+        )
+        dir_dim = 3 * 2 * self.num_frequencies_dir
+        color_mlp = self.mlp_gemms(
+            "tensorf/color-mlp",
+            [
+                (self.feature_dim + dir_dim + 3, self.mlp_width),
+                (self.mlp_width, self.mlp_width),
+                (self.mlp_width, 3),
+            ],
+            num_samples,
+            config,
+            first_layer_sparsity=0.0,
+        )
+        ops = [
+            self.sampling_op(config, self.nominal_samples),
+            factor_gather,
+            self.positional_encoding_op(
+                config, num_samples, 3, self.num_frequencies_dir, "pe-dir"
+            ),
+            basis_matrix,
+            *color_mlp,
+            self.volume_rendering_op(config, num_samples),
+        ]
+        return self.make_workload(config, ops)

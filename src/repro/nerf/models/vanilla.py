@@ -1,0 +1,64 @@
+"""Vanilla NeRF workload descriptor (Mildenhall et al., ECCV 2020).
+
+A coarse + fine hierarchy (64 + 128 samples per ray), sinusoidal positional
+encoding (L=10 for coordinates, L=4 for view directions) and an 8-layer,
+256-wide MLP with a skip connection, a density head and a view-dependent
+colour head.  GEMM/GEMV work dominates the frame time (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from repro.nerf.models.base import FrameConfig, NeRFModel
+from repro.nerf.workload import Workload
+
+
+class VanillaNeRF(NeRFModel):
+    """The original NeRF model."""
+
+    name = "nerf"
+    encoding_kind = "positional"
+    uses_empty_space_skipping = False
+
+    coarse_samples = 64
+    fine_samples = 128
+    hidden_width = 256
+    num_frequencies_xyz = 10
+    num_frequencies_dir = 4
+
+    def samples_per_ray(self, config: FrameConfig) -> int:
+        return self.coarse_samples + self.fine_samples
+
+    def _trunk_shapes(self) -> list[tuple[int, int]]:
+        xyz_dim = 3 * 2 * self.num_frequencies_xyz
+        dir_dim = 3 * 2 * self.num_frequencies_dir
+        width = self.hidden_width
+        return [
+            (xyz_dim, width),
+            (width, width),
+            (width, width),
+            (width, width),
+            (width + xyz_dim, width),   # skip connection re-injects the encoding
+            (width, width),
+            (width, width),
+            (width, width),
+            (width, 1 + width),          # density head + feature vector (fused)
+            (width + dir_dim, width // 2),
+            (width // 2, 3),
+        ]
+
+    def build_workload(self, config: FrameConfig | None = None) -> Workload:
+        config = config or FrameConfig()
+        samples = self.samples_per_ray(config)
+        num_samples = self.num_samples(config)
+        ops = [
+            self.sampling_op(config, samples),
+            self.positional_encoding_op(
+                config, num_samples, 3, self.num_frequencies_xyz, "pe-xyz"
+            ),
+            self.positional_encoding_op(
+                config, num_samples, 3, self.num_frequencies_dir, "pe-dir"
+            ),
+            *self.mlp_gemms("nerf/mlp", self._trunk_shapes(), num_samples, config),
+            self.volume_rendering_op(config, num_samples),
+        ]
+        return self.make_workload(config, ops)

@@ -1,0 +1,128 @@
+"""Procedural synthetic scenes standing in for Synthetic-NeRF / NSVF scenes.
+
+The paper evaluates on scenes from the Synthetic-NeRF dataset (e.g. Lego, Mic)
+and the NSVF dataset (e.g. Palace).  The datasets themselves are not needed
+for the hardware evaluation -- only their *statistics* are: how much of the
+sampled space is occupied (which drives input sparsity after ray-marching /
+empty-space skipping, Fig. 13(a)) and how geometrically complex the scene is
+(which drives the number of effective samples per ray, Fig. 20(b)).
+
+Each :class:`SyntheticScene` is a procedural density + color field made of
+soft-edged spheres whose count and extent are tuned to match the occupancy
+statistics the paper reports for the corresponding scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SyntheticScene:
+    """A procedural radiance field with controllable occupancy / complexity."""
+
+    name: str
+    complexity: float           # relative geometric complexity (1.0 = Lego-like)
+    target_occupancy: float     # fraction of sampled points inside geometry
+    num_primitives: int
+    seed: int = 0
+    bounds: tuple[float, float] = (-1.0, 1.0)
+    _centers: np.ndarray = field(init=False, repr=False)
+    _radii: np.ndarray = field(init=False, repr=False)
+    _colors: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_occupancy < 1.0:
+            raise ValueError("target occupancy must be in (0, 1)")
+        if self.num_primitives < 1:
+            raise ValueError("scene needs at least one primitive")
+        rng = np.random.default_rng(self.seed)
+        low, high = self.bounds
+        extent = high - low
+        self._centers = rng.uniform(low * 0.6, high * 0.6, size=(self.num_primitives, 3))
+        # Choose radii so the union of spheres covers roughly the target
+        # occupancy of the bounding volume (ignoring overlaps).
+        volume = extent**3
+        per_sphere = volume * self.target_occupancy / self.num_primitives
+        radius = (3.0 * per_sphere / (4.0 * np.pi)) ** (1.0 / 3.0)
+        self._radii = rng.uniform(0.8, 1.2, size=self.num_primitives) * radius
+        self._colors = rng.uniform(0.2, 1.0, size=(self.num_primitives, 3))
+
+    # -- field queries -------------------------------------------------------
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Volume density at ``points`` of shape (..., 3)."""
+        points = np.asarray(points, dtype=np.float64)
+        dists = np.linalg.norm(
+            points[..., None, :] - self._centers, axis=-1
+        )  # (..., P)
+        # Soft sphere: high density inside, decaying over a thin shell.
+        inside = np.clip((self._radii - dists) / (0.1 * self._radii), 0.0, 1.0)
+        return 30.0 * np.max(inside, axis=-1)
+
+    def color(self, points: np.ndarray) -> np.ndarray:
+        """Albedo color at ``points`` of shape (..., 3)."""
+        points = np.asarray(points, dtype=np.float64)
+        dists = np.linalg.norm(points[..., None, :] - self._centers, axis=-1)
+        nearest = np.argmin(dists, axis=-1)
+        return self._colors[nearest]
+
+    def occupancy(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of points that fall inside geometry."""
+        return self.density(points) > 0.0
+
+    def measured_occupancy(
+        self, num_samples: int = 20000, rng: np.random.Generator | None = None
+    ) -> float:
+        """Monte-Carlo estimate of the occupied fraction of the volume."""
+        rng = rng or np.random.default_rng(self.seed + 1)
+        low, high = self.bounds
+        points = rng.uniform(low, high, size=(num_samples, 3))
+        return float(np.mean(self.occupancy(points)))
+
+    # -- statistics used by the workload models -------------------------------
+
+    @property
+    def ray_marching_sparsity(self) -> float:
+        """Expected input sparsity after empty-space skipping.
+
+        Samples landing in empty space contribute all-zero feature rows, so
+        the input matrix sparsity equals one minus the occupancy along rays.
+        """
+        return 1.0 - self.target_occupancy
+
+    @property
+    def effective_samples_scale(self) -> float:
+        """Relative number of samples surviving skipping (vs. a Lego-like scene)."""
+        return 0.5 + 0.5 * self.complexity
+
+
+#: Scene statistics approximating the scenes named in the paper.  The
+#: occupancies are chosen so the ray-marching input sparsity matches
+#: Fig. 13(a): ~69 % for Lego and ~88 % for Mic; Palace (NSVF) is the complex
+#: scene of Fig. 20(b).
+SCENE_LIBRARY: dict[str, SyntheticScene] = {}
+
+
+def _register(scene: SyntheticScene) -> SyntheticScene:
+    SCENE_LIBRARY[scene.name] = scene
+    return scene
+
+
+_register(SyntheticScene(name="lego", complexity=1.0, target_occupancy=0.307, num_primitives=48, seed=1))
+_register(SyntheticScene(name="mic", complexity=0.6, target_occupancy=0.12, num_primitives=12, seed=2))
+_register(SyntheticScene(name="chair", complexity=0.8, target_occupancy=0.22, num_primitives=24, seed=3))
+_register(SyntheticScene(name="drums", complexity=0.9, target_occupancy=0.27, num_primitives=36, seed=4))
+_register(SyntheticScene(name="palace", complexity=1.5, target_occupancy=0.45, num_primitives=96, seed=5))
+
+
+def get_scene(name: str) -> SyntheticScene:
+    """Look up a scene by name (case-insensitive)."""
+    try:
+        return SCENE_LIBRARY[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown scene '{name}'; available: {sorted(SCENE_LIBRARY)}"
+        ) from exc

@@ -1,0 +1,37 @@
+"""Network-on-chip substrate.
+
+Implements the interconnect structures compared in the paper:
+
+* 2x2 and 3x3 switching nodes (``repro.noc.switch``);
+* the hierarchical mesh NoC of Eyeriss v2 (HM-NoC) and FlexNeRFer's extended
+  hierarchical mesh with feedback (HMF-NoC) (``repro.noc.hierarchical``);
+* the 1D mesh used for unicast operand delivery (``repro.noc.mesh``);
+* the Benes permutation network used by the SIGMA baseline
+  (``repro.noc.benes``);
+* dataflow classification (unicast / multicast / broadcast) of an operand
+  assignment (``repro.noc.dataflow``);
+* an energy model for comparing distribution networks
+  (``repro.noc.energy``).
+"""
+
+from repro.noc.dataflow import DataflowMode, classify_assignment, column_dataflows
+from repro.noc.switch import Switch2x2, Switch3x3, SwitchPort
+from repro.noc.hierarchical import HMNoC, HMFNoC, RouteResult
+from repro.noc.mesh import Mesh1D
+from repro.noc.benes import BenesNetwork
+from repro.noc.energy import NoCEnergyModel
+
+__all__ = [
+    "DataflowMode",
+    "classify_assignment",
+    "column_dataflows",
+    "Switch2x2",
+    "Switch3x3",
+    "SwitchPort",
+    "HMNoC",
+    "HMFNoC",
+    "RouteResult",
+    "Mesh1D",
+    "BenesNetwork",
+    "NoCEnergyModel",
+]

@@ -1,0 +1,151 @@
+"""Benes permutation network (SIGMA baseline interconnect).
+
+SIGMA distributes operands to its MAC array through a Benes network, a
+rearrangeably non-blocking multistage network built from 2x2 crossing
+switches.  An N-input Benes network (N a power of two) has ``2*log2(N) - 1``
+stages of ``N/2`` switches and can realise any permutation of its inputs.
+
+The classic looping route-planning algorithm implemented here returns, for a
+requested permutation, the per-stage switch settings; the model also reports
+switch and traversal counts so the SIGMA baseline's interconnect cost can be
+compared with FlexNeRFer's HMF-NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BenesRoute:
+    """Switch settings realising one permutation at one recursion level."""
+
+    permutation: list[int]
+    input_settings: list[bool]    # True = crossed input-stage switch
+    output_settings: list[bool]   # True = crossed output-stage switch
+    sub_upper: "BenesRoute | None"
+    sub_lower: "BenesRoute | None"
+    switch_traversals: int
+
+
+class BenesNetwork:
+    """An N x N Benes network (N must be a power of two)."""
+
+    def __init__(self, size: int) -> None:
+        if size < 2 or size & (size - 1):
+            raise ValueError(
+                f"Benes network size must be a power of two >= 2, got {size}"
+            )
+        self.size = size
+
+    @property
+    def num_stages(self) -> int:
+        """Number of switching stages: 2*log2(N) - 1."""
+        return 2 * (self.size.bit_length() - 1) - 1
+
+    @property
+    def num_switches(self) -> int:
+        """Total 2x2 switches in the network."""
+        return self.num_stages * (self.size // 2)
+
+    def route(self, permutation: list[int]) -> BenesRoute:
+        """Compute switch settings so that output ``i`` receives input ``permutation[i]``."""
+        self._validate(permutation)
+        return self._route_recursive(list(permutation))
+
+    def apply(self, permutation: list[int], values: list) -> list:
+        """Route ``permutation`` and return ``values`` reordered accordingly."""
+        route = self.route(permutation)
+        return self._apply_route(route, list(values))
+
+    # -- internal ---------------------------------------------------------
+
+    def _validate(self, permutation: list[int]) -> None:
+        if sorted(permutation) != list(range(self.size)):
+            raise ValueError(
+                f"expected a permutation of 0..{self.size - 1}, got {permutation}"
+            )
+
+    def _route_recursive(self, permutation: list[int]) -> BenesRoute:
+        n = len(permutation)
+        if n == 2:
+            crossed = permutation[0] == 1
+            return BenesRoute(
+                permutation=permutation,
+                input_settings=[crossed],
+                output_settings=[],
+                sub_upper=None,
+                sub_lower=None,
+                switch_traversals=2,
+            )
+        half = n // 2
+        inverse = [0] * n
+        for out_idx, in_idx in enumerate(permutation):
+            inverse[in_idx] = out_idx
+
+        in_upper: list[bool | None] = [None] * n
+        out_upper: list[bool | None] = [None] * n
+        for start in range(n):
+            if in_upper[start] is not None:
+                continue
+            current, side = start, True
+            while in_upper[current] is None:
+                in_upper[current] = side
+                out_idx = inverse[current]
+                out_upper[out_idx] = side
+                partner_out = out_idx ^ 1
+                if out_upper[partner_out] is None:
+                    out_upper[partner_out] = not side
+                partner_in = permutation[partner_out]
+                if in_upper[partner_in] is None:
+                    in_upper[partner_in] = not side
+                current = partner_in ^ 1
+                side = not in_upper[partner_in]
+
+        input_settings = [not in_upper[2 * i] for i in range(half)]
+        output_settings = [not out_upper[2 * o] for o in range(half)]
+
+        upper_perm = [0] * half
+        lower_perm = [0] * half
+        for o in range(half):
+            even, odd = 2 * o, 2 * o + 1
+            up_out = even if out_upper[even] else odd
+            low_out = odd if out_upper[even] else even
+            upper_perm[o] = permutation[up_out] // 2
+            lower_perm[o] = permutation[low_out] // 2
+
+        sub_upper = self._route_recursive(upper_perm)
+        sub_lower = self._route_recursive(lower_perm)
+        traversals = 2 * n + sub_upper.switch_traversals + sub_lower.switch_traversals
+        return BenesRoute(
+            permutation=permutation,
+            input_settings=input_settings,
+            output_settings=output_settings,
+            sub_upper=sub_upper,
+            sub_lower=sub_lower,
+            switch_traversals=traversals,
+        )
+
+    def _apply_route(self, route: BenesRoute, values: list) -> list:
+        """Push ``values`` through the routed switch settings."""
+        n = len(values)
+        if n == 2:
+            return [values[1], values[0]] if route.input_settings[0] else list(values)
+        half = n // 2
+        upper_in = [None] * half
+        lower_in = [None] * half
+        for i in range(half):
+            even_val, odd_val = values[2 * i], values[2 * i + 1]
+            if route.input_settings[i]:
+                upper_in[i], lower_in[i] = odd_val, even_val
+            else:
+                upper_in[i], lower_in[i] = even_val, odd_val
+        upper_out = self._apply_route(route.sub_upper, upper_in)
+        lower_out = self._apply_route(route.sub_lower, lower_in)
+        out = [None] * n
+        for o in range(half):
+            if route.output_settings[o]:
+                out[2 * o], out[2 * o + 1] = lower_out[o], upper_out[o]
+            else:
+                out[2 * o], out[2 * o + 1] = upper_out[o], lower_out[o]
+        return out

@@ -1,0 +1,68 @@
+"""Switching nodes used by the hierarchical mesh networks.
+
+HM-NoC (Eyeriss v2) builds its tree from 2x2 switches; FlexNeRFer's HMF-NoC
+replaces each node with a 3x3 switch whose third port connects a feedback loop
+that lets data already present in the array be moved between MAC units without
+re-reading the on-chip buffers (paper Fig. 9(b)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SwitchPort(enum.Enum):
+    """Logical input ports of a switching node."""
+
+    SRC0 = "src0"
+    SRC1 = "src1"
+    FEEDBACK = "feedback"
+
+
+@dataclass
+class Switch2x2:
+    """A 2x2 node: two upstream sources, two downstream outputs."""
+
+    name: str = "sw"
+    activations: int = 0
+    config: dict[int, SwitchPort] = field(default_factory=dict)
+
+    num_inputs = 2
+    num_outputs = 2
+
+    def configure(self, routing: dict[int, SwitchPort]) -> None:
+        """Set which source drives each output (0 and/or 1)."""
+        for output, port in routing.items():
+            if output not in (0, 1):
+                raise ValueError(f"2x2 switch has outputs 0/1, got {output}")
+            if port is SwitchPort.FEEDBACK:
+                raise ValueError("2x2 switch has no feedback port")
+        self.config = dict(routing)
+
+    def forward(self, inputs: dict[SwitchPort, object]) -> dict[int, object]:
+        """Propagate values from inputs to configured outputs."""
+        outputs = {}
+        for output, port in self.config.items():
+            if port in inputs and inputs[port] is not None:
+                outputs[output] = inputs[port]
+        if outputs:
+            self.activations += 1
+        return outputs
+
+
+@dataclass
+class Switch3x3(Switch2x2):
+    """A 3x3 node: adds the feedback input used by HMF-NoC."""
+
+    name: str = "sw3"
+    num_inputs = 3
+    num_outputs = 3
+
+    def configure(self, routing: dict[int, SwitchPort]) -> None:
+        for output, port in routing.items():
+            if output not in (0, 1, 2):
+                raise ValueError(f"3x3 switch has outputs 0/1/2, got {output}")
+            if not isinstance(port, SwitchPort):
+                raise TypeError(f"expected SwitchPort, got {port!r}")
+        self.config = dict(routing)

@@ -1,0 +1,32 @@
+"""Tile-level performance simulation of GEMM/GEMV arrays.
+
+This is the repo's stand-in for the modified STONNE cycle-level simulator the
+paper uses: it models how a GEMM/GEMV operation is tiled onto a MAC array,
+what utilisation the mapping achieves (dense baseline vs. FlexNeRFer's
+sparsity-aware dense mapping), how many cycles the compute takes, and how much
+on-chip / off-chip traffic it generates.  The same machinery is configured
+differently for FlexNeRFer, NeuRex, SIGMA, Bit Fusion and the commercial
+accelerators, so every latency/energy comparison in the evaluation goes
+through one code path.
+"""
+
+from repro.sim.array_config import ArrayConfig
+from repro.sim.tiling import TileGrid, tile_counts
+from repro.sim.utilization import dense_mapping_utilization, sparse_mapping_utilization
+from repro.sim.engine import GEMMCycleModel, GEMMExecution
+from repro.sim.memory import MemoryTrafficModel, TrafficReport
+from repro.sim.trace import ExecutionTrace, OpRecord
+
+__all__ = [
+    "ArrayConfig",
+    "TileGrid",
+    "tile_counts",
+    "dense_mapping_utilization",
+    "sparse_mapping_utilization",
+    "GEMMCycleModel",
+    "GEMMExecution",
+    "MemoryTrafficModel",
+    "TrafficReport",
+    "ExecutionTrace",
+    "OpRecord",
+]

@@ -1,0 +1,108 @@
+"""Configuration of a GEMM/GEMV compute array.
+
+A single configuration class describes FlexNeRFer's MAC array as well as the
+baseline arrays (SIGMA, Bit Fusion, bit-scalable SIGMA, NeuRex's dense INT16
+array, NVDLA- and TPU-like engines), so the cycle model can be shared.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sparse.formats import Precision
+
+
+class MappingFlexibility(enum.Enum):
+    """How flexibly operands can be placed onto the array."""
+
+    #: Rigid systolic mapping: operands occupy fixed rows/columns; irregular
+    #: shapes and sparsity leave MACs idle (TPU-like weight-stationary array).
+    RIGID = "rigid"
+    #: Channel-parallel mapping (NVDLA-like): utilisation tracks channel depth.
+    CHANNEL = "channel"
+    #: Flexible distribution (SIGMA / FlexNeRFer): non-zero operands can be
+    #: packed densely onto the array via unicast/multicast/broadcast.
+    FLEXIBLE = "flexible"
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Static description of a compute array."""
+
+    name: str
+    rows: int = 64
+    cols: int = 64
+    frequency_hz: float = 800e6
+    base_precision: Precision = Precision.INT16
+    bit_scalable: bool = False
+    supports_sparsity: bool = False
+    mapping: MappingFlexibility = MappingFlexibility.FLEXIBLE
+    #: Fraction of peak cycles lost to pipeline fill/drain and control.
+    pipeline_overhead: float = 0.03
+    #: Additional latency fraction spent on (de)compression / format handling.
+    format_conversion_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0.0 <= self.pipeline_overhead < 1.0:
+            raise ValueError("pipeline overhead must be in [0, 1)")
+        if self.format_conversion_overhead < 0.0:
+            raise ValueError("format conversion overhead must be non-negative")
+
+    # -- precision handling ---------------------------------------------------
+
+    def supported_precisions(self) -> tuple[Precision, ...]:
+        if self.bit_scalable:
+            return (Precision.INT4, Precision.INT8, Precision.INT16)
+        return (self.base_precision,)
+
+    def supports_precision(self, precision: Precision) -> bool:
+        return precision in self.supported_precisions()
+
+    def effective_precision(self, precision: Precision) -> Precision:
+        """Precision the array actually computes at for a requested precision.
+
+        Non-bit-scalable arrays run every workload at their base precision.
+        """
+        if self.supports_precision(precision):
+            return precision
+        return self.base_precision
+
+    def lane_scale(self, precision: Precision) -> int:
+        """Multiplier-lane multiplication factor at ``precision``.
+
+        A bit-scalable unit built from 4x4 sub-multipliers provides 1 / 4 / 16
+        lanes per MAC unit at 16- / 8- / 4-bit precision (paper Fig. 6(a)).
+        """
+        effective = self.effective_precision(precision)
+        scale = (self.base_precision.bits // effective.bits) ** 2
+        return max(1, scale)
+
+    def effective_grid(self, precision: Precision) -> tuple[int, int]:
+        """Logical multiplier grid (rows, cols) at ``precision`` (Fig. 6(b))."""
+        effective = self.effective_precision(precision)
+        edge_scale = max(1, self.base_precision.bits // effective.bits)
+        return (self.rows * edge_scale, self.cols * edge_scale)
+
+    def macs_per_cycle(self, precision: Precision) -> int:
+        """Peak MAC operations per cycle at ``precision``."""
+        grid_rows, grid_cols = self.effective_grid(precision)
+        return grid_rows * grid_cols
+
+    def peak_ops_per_second(self, precision: Precision) -> float:
+        """Peak operations (2 x MAC) per second at ``precision``."""
+        return 2.0 * self.macs_per_cycle(precision) * self.frequency_hz
+
+    def data_fetch_bytes(self, precision: Precision) -> int:
+        """Bytes fetched per operand per tile at ``precision`` (Fig. 6(b)).
+
+        Halving the precision quadruples the tile's element count but halves
+        the bits per element, so the fetch size doubles per precision step:
+        8 KiB at INT16, 16 KiB at INT8 and 32 KiB at INT4 for a 64x64 array.
+        """
+        grid_rows, grid_cols = self.effective_grid(precision)
+        return grid_rows * grid_cols * self.effective_precision(precision).bits // 8

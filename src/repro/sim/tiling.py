@@ -1,0 +1,60 @@
+"""Tiling of GEMM operations onto a compute array."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.nerf.workload import GEMMOp
+from repro.sim.array_config import ArrayConfig
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """How a GEMM of shape (M, N, K) tiles onto an array grid."""
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    tiles_m: int
+    tiles_n: int
+    tiles_k: int
+    edge_utilization: float
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_m * self.tiles_n * self.tiles_k
+
+    @property
+    def num_output_tiles(self) -> int:
+        return self.tiles_m * self.tiles_n
+
+
+def tile_counts(op: GEMMOp, config: ArrayConfig) -> TileGrid:
+    """Tile ``op`` onto the array at the op's precision.
+
+    The array maps the reduction dimension K across the rows of the
+    multiplier grid and the output dimension N across its columns; the M
+    dimension is streamed tile by tile.  Edge utilisation captures the waste
+    from partially filled boundary tiles (the effect behind the low MAC
+    utilisation of rigid arrays on irregular GEMMs, paper Fig. 4(c)).
+    """
+    grid_rows, grid_cols = config.effective_grid(op.precision)
+    tile_m = grid_rows
+    tile_n = grid_cols
+    tile_k = grid_rows
+    tiles_m = math.ceil(op.m / tile_m)
+    tiles_n = math.ceil(op.n / tile_n)
+    tiles_k = math.ceil(op.k / tile_k)
+    covered = (tiles_m * tile_m) * (tiles_n * tile_n) * (tiles_k * tile_k)
+    useful = op.m * op.n * op.k
+    edge_utilization = useful / covered if covered else 0.0
+    return TileGrid(
+        tile_m=tile_m,
+        tile_n=tile_n,
+        tile_k=tile_k,
+        tiles_m=tiles_m,
+        tiles_n=tiles_n,
+        tiles_k=tiles_k,
+        edge_utilization=edge_utilization,
+    )

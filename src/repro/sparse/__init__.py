@@ -1,0 +1,50 @@
+"""Sparse tensor formats, footprint modelling and format selection.
+
+This package implements the storage substrate used by FlexNeRFer's online
+sparsity-aware data compression (paper Section 3.2.3 and 4.3):
+
+* dense ("None"), COO, CSR, CSC and Bitmap encodings with loss-less
+  encode/decode round trips (``repro.sparse.codecs``);
+* an analytical memory-footprint model for every format at every supported
+  precision (``repro.sparse.footprint``);
+* the optimal-format selector that picks the format minimising memory
+  footprint for a given sparsity ratio and precision mode
+  (``repro.sparse.selector``);
+* helpers for generating random sparse tensors with a target sparsity ratio
+  (``repro.sparse.tensor``).
+"""
+
+from repro.sparse.formats import Precision, SparsityFormat, tile_shape_for_precision
+from repro.sparse.codecs import (
+    BitmapCodec,
+    COOCodec,
+    CSCCodec,
+    CSRCodec,
+    DenseCodec,
+    EncodedTensor,
+    get_codec,
+)
+from repro.sparse.footprint import FootprintModel, footprint_bits, footprint_ratio
+from repro.sparse.selector import FormatSelector, optimal_format
+from repro.sparse.tensor import SparseTensor, random_sparse_matrix, sparsity_ratio
+
+__all__ = [
+    "Precision",
+    "SparsityFormat",
+    "tile_shape_for_precision",
+    "DenseCodec",
+    "COOCodec",
+    "CSRCodec",
+    "CSCCodec",
+    "BitmapCodec",
+    "EncodedTensor",
+    "get_codec",
+    "FootprintModel",
+    "footprint_bits",
+    "footprint_ratio",
+    "FormatSelector",
+    "optimal_format",
+    "SparseTensor",
+    "random_sparse_matrix",
+    "sparsity_ratio",
+]

@@ -1,0 +1,233 @@
+"""Loss-less encode/decode codecs for the sparsity formats.
+
+These codecs implement the behaviour of FlexNeRFer's flexible format
+encoder/decoder (paper Fig. 13(b) and Fig. 14).  Each codec converts a dense
+integer tile into an :class:`EncodedTensor` carrying the value payload and the
+format-specific metadata, and can reconstruct the dense tile exactly.
+
+The bit-exact storage cost of an encoded tile is reported by
+``EncodedTensor.storage_bits`` and matches the analytical model in
+``repro.sparse.footprint`` (the tests cross-check the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.formats import Precision, SparsityFormat, index_bits
+
+
+@dataclass
+class EncodedTensor:
+    """A tile encoded in one of the supported sparsity formats.
+
+    Attributes:
+        fmt: the storage format used.
+        precision: operand precision of the value payload.
+        shape: dense shape of the original tile.
+        values: non-zero values (or all values for the dense format).
+        metadata: format-specific index structures (row/col indices, pointers
+            or a bitmap), keyed by name.
+    """
+
+    fmt: SparsityFormat
+    precision: Precision
+    shape: tuple[int, int]
+    values: np.ndarray
+    metadata: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def nnz(self) -> int:
+        """Number of explicitly stored non-zero values."""
+        if self.fmt is SparsityFormat.NONE:
+            return int(np.count_nonzero(self.values))
+        return int(self.values.size)
+
+    @property
+    def storage_bits(self) -> int:
+        """Exact number of bits needed to store this encoded tile."""
+        rows, cols = self.shape
+        value_bits = self.values.size * self.precision.bits
+        if self.fmt is SparsityFormat.NONE:
+            return rows * cols * self.precision.bits
+        if self.fmt is SparsityFormat.COO:
+            return value_bits + self.nnz * (index_bits(rows) + index_bits(cols))
+        if self.fmt is SparsityFormat.CSR:
+            ptr_bits = index_bits(rows * cols + 1)
+            return value_bits + self.nnz * index_bits(cols) + (rows + 1) * ptr_bits
+        if self.fmt is SparsityFormat.CSC:
+            ptr_bits = index_bits(rows * cols + 1)
+            return value_bits + self.nnz * index_bits(rows) + (cols + 1) * ptr_bits
+        if self.fmt is SparsityFormat.BITMAP:
+            return value_bits + rows * cols
+        raise ValueError(f"unknown format {self.fmt}")
+
+
+def _check_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"codecs operate on 2D tiles, got shape {matrix.shape}")
+    return matrix
+
+
+class DenseCodec:
+    """The 'None' format: the tile is stored uncompressed."""
+
+    fmt = SparsityFormat.NONE
+
+    def encode(self, matrix: np.ndarray, precision: Precision) -> EncodedTensor:
+        matrix = _check_matrix(matrix)
+        return EncodedTensor(
+            fmt=self.fmt,
+            precision=precision,
+            shape=matrix.shape,
+            values=matrix.copy(),
+        )
+
+    def decode(self, encoded: EncodedTensor) -> np.ndarray:
+        return encoded.values.copy()
+
+
+class COOCodec:
+    """Coordinate format: (row, col, value) triples."""
+
+    fmt = SparsityFormat.COO
+
+    def encode(self, matrix: np.ndarray, precision: Precision) -> EncodedTensor:
+        matrix = _check_matrix(matrix)
+        rows, cols = np.nonzero(matrix)
+        return EncodedTensor(
+            fmt=self.fmt,
+            precision=precision,
+            shape=matrix.shape,
+            values=matrix[rows, cols].copy(),
+            metadata={
+                "row_indices": rows.astype(np.int32),
+                "col_indices": cols.astype(np.int32),
+            },
+        )
+
+    def decode(self, encoded: EncodedTensor) -> np.ndarray:
+        out = np.zeros(encoded.shape, dtype=encoded.values.dtype)
+        out[encoded.metadata["row_indices"], encoded.metadata["col_indices"]] = (
+            encoded.values
+        )
+        return out
+
+
+class CSRCodec:
+    """Compressed sparse row: row pointers + column indices + values."""
+
+    fmt = SparsityFormat.CSR
+
+    def encode(self, matrix: np.ndarray, precision: Precision) -> EncodedTensor:
+        matrix = _check_matrix(matrix)
+        n_rows = matrix.shape[0]
+        col_indices: list[np.ndarray] = []
+        row_ptr = np.zeros(n_rows + 1, dtype=np.int64)
+        values: list[np.ndarray] = []
+        for r in range(n_rows):
+            cols = np.nonzero(matrix[r])[0]
+            col_indices.append(cols)
+            values.append(matrix[r, cols])
+            row_ptr[r + 1] = row_ptr[r] + cols.size
+        return EncodedTensor(
+            fmt=self.fmt,
+            precision=precision,
+            shape=matrix.shape,
+            values=(
+                np.concatenate(values) if values else np.empty(0, dtype=matrix.dtype)
+            ),
+            metadata={
+                "col_indices": (
+                    np.concatenate(col_indices).astype(np.int32)
+                    if col_indices
+                    else np.empty(0, dtype=np.int32)
+                ),
+                "row_ptr": row_ptr,
+            },
+        )
+
+    def decode(self, encoded: EncodedTensor) -> np.ndarray:
+        out = np.zeros(encoded.shape, dtype=encoded.values.dtype)
+        row_ptr = encoded.metadata["row_ptr"]
+        col_indices = encoded.metadata["col_indices"]
+        for r in range(encoded.shape[0]):
+            start, end = row_ptr[r], row_ptr[r + 1]
+            out[r, col_indices[start:end]] = encoded.values[start:end]
+        return out
+
+
+class CSCCodec:
+    """Compressed sparse column: column pointers + row indices + values."""
+
+    fmt = SparsityFormat.CSC
+
+    def encode(self, matrix: np.ndarray, precision: Precision) -> EncodedTensor:
+        matrix = _check_matrix(matrix)
+        encoded_t = CSRCodec().encode(matrix.T, precision)
+        return EncodedTensor(
+            fmt=self.fmt,
+            precision=precision,
+            shape=matrix.shape,
+            values=encoded_t.values,
+            metadata={
+                "row_indices": encoded_t.metadata["col_indices"],
+                "col_ptr": encoded_t.metadata["row_ptr"],
+            },
+        )
+
+    def decode(self, encoded: EncodedTensor) -> np.ndarray:
+        proxy = EncodedTensor(
+            fmt=SparsityFormat.CSR,
+            precision=encoded.precision,
+            shape=(encoded.shape[1], encoded.shape[0]),
+            values=encoded.values,
+            metadata={
+                "col_indices": encoded.metadata["row_indices"],
+                "row_ptr": encoded.metadata["col_ptr"],
+            },
+        )
+        return CSRCodec().decode(proxy).T
+
+
+class BitmapCodec:
+    """Bitmap format: one presence bit per element plus packed non-zero values."""
+
+    fmt = SparsityFormat.BITMAP
+
+    def encode(self, matrix: np.ndarray, precision: Precision) -> EncodedTensor:
+        matrix = _check_matrix(matrix)
+        bitmap = (matrix != 0).astype(np.uint8)
+        return EncodedTensor(
+            fmt=self.fmt,
+            precision=precision,
+            shape=matrix.shape,
+            values=matrix[bitmap.astype(bool)].copy(),
+            metadata={"bitmap": bitmap},
+        )
+
+    def decode(self, encoded: EncodedTensor) -> np.ndarray:
+        out = np.zeros(encoded.shape, dtype=encoded.values.dtype)
+        mask = encoded.metadata["bitmap"].astype(bool)
+        out[mask] = encoded.values
+        return out
+
+
+_CODECS = {
+    SparsityFormat.NONE: DenseCodec,
+    SparsityFormat.COO: COOCodec,
+    SparsityFormat.CSR: CSRCodec,
+    SparsityFormat.CSC: CSCCodec,
+    SparsityFormat.BITMAP: BitmapCodec,
+}
+
+
+def get_codec(fmt: SparsityFormat):
+    """Return a codec instance for ``fmt``."""
+    try:
+        return _CODECS[fmt]()
+    except KeyError as exc:
+        raise ValueError(f"no codec registered for format {fmt}") from exc

@@ -1,0 +1,91 @@
+"""Optimal sparsity-format selection (paper Fig. 8 and Section 4.3).
+
+FlexNeRFer's flexible format encoder picks, for every tile, the storage format
+that minimises memory footprint given the measured sparsity ratio and the
+active precision mode.  Weights are pre-analysed offline; inputs are analysed
+online by the sparsity-ratio calculator (``repro.core.compression``), which
+then calls into this selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparse.footprint import FootprintModel
+from repro.sparse.formats import Precision, SparsityFormat
+
+#: Formats considered by the flexible format encoder.  CSR and CSC share one
+#: compression mechanism (paper footnote 1); the selector reports CSR and the
+#: hardware picks row- or column-major depending on the operand's role.
+CANDIDATE_FORMATS = (
+    SparsityFormat.NONE,
+    SparsityFormat.COO,
+    SparsityFormat.CSR,
+    SparsityFormat.BITMAP,
+)
+
+
+@dataclass(frozen=True)
+class FormatDecision:
+    """Outcome of a format-selection query."""
+
+    fmt: SparsityFormat
+    sparsity_ratio: float
+    precision: Precision
+    bits: float
+    bits_per_format: dict[SparsityFormat, float]
+
+    @property
+    def savings_over_none(self) -> float:
+        """Fraction of storage saved relative to the uncompressed layout."""
+        dense = self.bits_per_format[SparsityFormat.NONE]
+        return 1.0 - self.bits / dense
+
+
+class FormatSelector:
+    """Selects the footprint-minimising format for a tile."""
+
+    def __init__(
+        self,
+        candidates: tuple[SparsityFormat, ...] = CANDIDATE_FORMATS,
+        shape: tuple[int, int] | None = None,
+    ) -> None:
+        self._candidates = candidates
+        self._shape = shape
+
+    def _model(self, precision: Precision) -> FootprintModel:
+        if self._shape is None:
+            return FootprintModel.for_precision(precision)
+        return FootprintModel(
+            rows=self._shape[0], cols=self._shape[1], precision=precision
+        )
+
+    def decide(self, sparsity_ratio: float, precision: Precision) -> FormatDecision:
+        """Return the best format and the per-format footprint breakdown."""
+        model = self._model(precision)
+        bits_per_format = {
+            fmt: model.bits(fmt, sparsity_ratio) for fmt in self._candidates
+        }
+        best_fmt = min(bits_per_format, key=bits_per_format.get)
+        return FormatDecision(
+            fmt=best_fmt,
+            sparsity_ratio=sparsity_ratio,
+            precision=precision,
+            bits=bits_per_format[best_fmt],
+            bits_per_format=bits_per_format,
+        )
+
+    def sweep(
+        self, sparsity_ratios: list[float], precision: Precision
+    ) -> list[FormatDecision]:
+        """Decisions across a sweep of sparsity ratios (one Fig. 8 row)."""
+        return [self.decide(s, precision) for s in sparsity_ratios]
+
+
+def optimal_format(
+    sparsity_ratio: float,
+    precision: Precision,
+    shape: tuple[int, int] | None = None,
+) -> SparsityFormat:
+    """Return the footprint-minimising format for a tile."""
+    return FormatSelector(shape=shape).decide(sparsity_ratio, precision).fmt

@@ -1,0 +1,102 @@
+"""Sparse tensor wrapper and random sparse-matrix generation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.codecs import EncodedTensor, get_codec
+from repro.sparse.formats import Precision, SparsityFormat
+from repro.sparse.selector import FormatSelector
+
+
+def sparsity_ratio(matrix: np.ndarray) -> float:
+    """Fraction of zero elements in ``matrix`` (0.0 = dense, 1.0 = all zero)."""
+    matrix = np.asarray(matrix)
+    if matrix.size == 0:
+        return 0.0
+    return 1.0 - np.count_nonzero(matrix) / matrix.size
+
+
+def random_sparse_matrix(
+    shape: tuple[int, int],
+    sparsity: float,
+    precision: Precision = Precision.INT16,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate an integer matrix with an exact target sparsity ratio.
+
+    The number of zeros is ``round(sparsity * size)``; non-zero values are
+    drawn uniformly from the representable non-zero range of ``precision``.
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    rng = rng or np.random.default_rng()
+    rows, cols = shape
+    size = rows * cols
+    n_zero = int(round(sparsity * size))
+    n_nonzero = size - n_zero
+    flat = np.zeros(size, dtype=np.int32)
+    if n_nonzero > 0:
+        values = rng.integers(1, precision.max_value + 1, size=n_nonzero)
+        signs = rng.choice([-1, 1], size=n_nonzero)
+        positions = rng.choice(size, size=n_nonzero, replace=False)
+        flat[positions] = values * signs
+    return flat.reshape(rows, cols)
+
+
+@dataclass
+class SparseTensor:
+    """A dense integer tile together with its precision and sparsity metadata.
+
+    This is the unit of data that flows between FlexNeRFer's buffers, the
+    flexible format encoder/decoder and the MAC array.
+    """
+
+    data: np.ndarray
+    precision: Precision = Precision.INT16
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim != 2:
+            raise ValueError(f"SparseTensor expects a 2D tile, got {self.data.shape}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def sparsity(self) -> float:
+        return sparsity_ratio(self.data)
+
+    def encode(self, fmt: SparsityFormat | None = None) -> EncodedTensor:
+        """Encode into ``fmt``, or into the optimal format when omitted."""
+        if fmt is None:
+            fmt = FormatSelector(shape=self.shape).decide(
+                self.sparsity, self.precision
+            ).fmt
+        return get_codec(fmt).encode(self.data, self.precision)
+
+    @classmethod
+    def decode(cls, encoded: EncodedTensor) -> "SparseTensor":
+        """Reconstruct a SparseTensor from an encoded tile."""
+        return cls(data=get_codec(encoded.fmt).decode(encoded), precision=encoded.precision)
+
+    @classmethod
+    def random(
+        cls,
+        shape: tuple[int, int],
+        sparsity: float,
+        precision: Precision = Precision.INT16,
+        rng: np.random.Generator | None = None,
+    ) -> "SparseTensor":
+        """Random tile with a target sparsity ratio."""
+        return cls(
+            data=random_sparse_matrix(shape, sparsity, precision, rng),
+            precision=precision,
+        )

@@ -1,0 +1,78 @@
+"""Tests for the Table 3 array baselines and the Fig. 4 utilisation models."""
+
+import pytest
+
+from repro.baselines.arrays import (
+    BitFusionArray,
+    BitScalableSigmaArray,
+    SigmaArray,
+    TABLE3_BASELINES,
+)
+from repro.baselines.nvdla import NVDLAModel
+from repro.baselines.tpu import TPUModel
+from repro.sparse.formats import Precision
+
+
+class TestTable3Baselines:
+    def test_published_power_used(self):
+        assert SigmaArray().power_w(Precision.INT16) == 5.8
+        assert BitFusionArray().power_w(Precision.INT4) == 5.8
+        assert BitScalableSigmaArray().power_w(Precision.INT16) == 8.2
+
+    def test_area_close_to_paper(self):
+        assert SigmaArray().area().total_mm2 == pytest.approx(20.5, rel=0.2)
+        assert BitFusionArray().area().total_mm2 == pytest.approx(31.9, rel=0.1)
+        assert BitScalableSigmaArray().area().total_mm2 == pytest.approx(40.8, rel=0.1)
+
+    def test_sigma_is_int16_only(self):
+        assert SigmaArray().supported_precisions() == (Precision.INT16,)
+        assert len(BitFusionArray().supported_precisions()) == 3
+
+    def test_peak_efficiency_close_to_paper(self):
+        assert SigmaArray().peak_efficiency(Precision.INT16) == pytest.approx(1.1, abs=0.15)
+        assert BitFusionArray().peak_efficiency(Precision.INT4) == pytest.approx(18.1, rel=0.05)
+        assert BitScalableSigmaArray().peak_efficiency(Precision.INT4) == pytest.approx(5.7, rel=0.05)
+
+    def test_bs_sigma_int4_peak_limited_by_interconnect(self):
+        bs_sigma = BitScalableSigmaArray()
+        bitfusion = BitFusionArray()
+        assert bs_sigma.peak_tops(Precision.INT4) == pytest.approx(
+            0.5 * bitfusion.peak_tops(Precision.INT4)
+        )
+
+    def test_effective_efficiency_ordering(self):
+        """On sparse irregular GEMMs: sparsity-aware flexible arrays win."""
+        sigma_eff = SigmaArray().effective_efficiency(Precision.INT16)
+        bitfusion_eff = BitFusionArray().effective_efficiency(Precision.INT16)
+        assert bitfusion_eff < sigma_eff
+
+    def test_spec_rows_complete(self):
+        for cls in TABLE3_BASELINES:
+            row = cls().spec_row()
+            assert row.area_mm2 > 0
+            assert set(row.power_w) == set(row.precisions)
+            assert all(v > 0 for v in row.peak_efficiency.values())
+
+
+class TestFig4Models:
+    def test_early_cnn_layer(self):
+        assert NVDLAModel().conv_utilization(3, 2) == pytest.approx(0.375)
+        assert TPUModel().conv_utilization(3, 2, spatial_positions=36) == pytest.approx(0.375)
+
+    def test_late_cnn_layer(self):
+        assert NVDLAModel().conv_utilization(64, 64) == pytest.approx(1.0)
+        assert TPUModel().conv_utilization(64, 64, spatial_positions=2) == pytest.approx(0.5)
+
+    def test_irregular_dense_gemm(self):
+        assert NVDLAModel().gemm_utilization(4, 5, 4) == pytest.approx(0.0625)
+        assert TPUModel().gemm_utilization(4, 5, 4) == pytest.approx(1.0)
+
+    def test_irregular_sparse_gemm(self):
+        assert TPUModel().gemm_utilization(4, 5, 4, density=0.6875) == pytest.approx(0.6875)
+        assert NVDLAModel().gemm_utilization(4, 5, 4, density=0.6875) == pytest.approx(0.0625)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            NVDLAModel().conv_utilization(0, 4)
+        with pytest.raises(ValueError):
+            TPUModel().gemm_utilization(1, 1, 1, density=0.0)

@@ -1,0 +1,86 @@
+"""Tests for the GPU roofline model and the NeuRex baseline."""
+
+import pytest
+
+from repro.baselines.gpu import GPUModel, JETSON_NANO, RTX_2080_TI, RTX_4090, XAVIER_NX
+from repro.baselines.neurex import NeuRex
+from repro.nerf.models import FrameConfig, get_model
+from repro.nerf.workload import GEMMOp
+from repro.sparse.formats import Precision
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_model("instant-ngp").build_workload(FrameConfig())
+
+
+class TestGPUModel:
+    def test_gemm_efficiency_depends_on_layer_size(self):
+        gpu = GPUModel()
+        tiny = GEMMOp("tiny", m=1000, n=16, k=16)
+        large = GEMMOp("large", m=1000, n=512, k=512)
+        assert gpu.gemm_efficiency(tiny) < gpu.gemm_efficiency(large)
+        assert gpu.gemm_efficiency(large) == pytest.approx(GPUModel.MAX_GEMM_EFFICIENCY)
+
+    def test_sparsity_gives_gpu_no_speedup(self):
+        gpu = GPUModel()
+        dense = get_model("nerf").build_workload(FrameConfig())
+        pruned = dense.pruned(0.9)
+        assert gpu.render_frame(pruned).latency_s == pytest.approx(
+            gpu.render_frame(dense).latency_s
+        )
+
+    def test_every_model_exceeds_vr_threshold(self):
+        """Paper Fig. 1: all seven models exceed 16.8 ms on the 2080 Ti."""
+        gpu = GPUModel(RTX_2080_TI)
+        config = FrameConfig()
+        for name in ("nerf", "kilonerf", "instant-ngp", "tensorf"):
+            report = gpu.render_frame(get_model(name).build_workload(config))
+            assert report.frame_time_ms > 16.8
+
+    def test_faster_gpu_renders_faster(self, workload):
+        slow = GPUModel(RTX_2080_TI).render_frame(workload)
+        fast = GPUModel(RTX_4090).render_frame(workload)
+        assert fast.latency_s < slow.latency_s
+
+    def test_edge_gpus_are_slower(self, workload):
+        desktop = GPUModel(RTX_2080_TI).render_frame(workload)
+        nano = GPUModel(JETSON_NANO).render_frame(workload)
+        xavier = GPUModel(XAVIER_NX).render_frame(workload)
+        assert nano.latency_s > xavier.latency_s > desktop.latency_s
+
+    def test_effective_power_between_idle_and_typical(self):
+        gpu = GPUModel()
+        assert (
+            GPUModel.IDLE_POWER_FRACTION * RTX_2080_TI.typical_power_w
+            <= gpu._effective_power_w(0.1)
+            <= RTX_2080_TI.typical_power_w
+        )
+
+    def test_energy_positive(self, workload):
+        assert GPUModel().render_frame(workload).energy_j > 0
+
+
+class TestNeuRex:
+    def test_published_cost(self):
+        neurex = NeuRex()
+        assert neurex.area().total_mm2 == pytest.approx(22.8, rel=0.01)
+        assert neurex.power().total_w == pytest.approx(5.1, rel=0.01)
+
+    def test_faster_than_gpu_on_instant_ngp(self, workload):
+        gpu_report = GPUModel().render_frame(workload)
+        neurex_report = NeuRex().render_frame(workload)
+        assert neurex_report.latency_s < gpu_report.latency_s
+
+    def test_pruning_and_precision_do_not_change_neurex(self, workload):
+        """Fig. 19: NeuRex's bars are flat across pruning ratios."""
+        neurex = NeuRex()
+        baseline = neurex.render_frame(workload)
+        pruned = neurex.render_frame(workload, pruning_ratio=0.9)
+        low_precision = neurex.render_frame(workload, precision=Precision.INT4)
+        assert pruned.latency_s == pytest.approx(baseline.latency_s)
+        assert low_precision.latency_s == pytest.approx(baseline.latency_s)
+
+    def test_trace_covers_all_ops(self, workload):
+        report = NeuRex().render_frame(workload)
+        assert len(report.trace.records) == len(workload.ops)

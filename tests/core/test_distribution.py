@@ -1,0 +1,132 @@
+"""Tests for the distribution network's dense sparse-GEMM mapping (Fig. 5/11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import DistributionNetwork
+from repro.noc.dataflow import DataflowMode
+from repro.sparse.formats import Precision
+from repro.sparse.tensor import random_sparse_matrix
+
+
+class TestDenseMapping:
+    def test_fig5_example_counts(self):
+        """A 4x4 array maps an irregular sparse GEMM densely (paper Fig. 5)."""
+        dn = DistributionNetwork(4, 4)
+        # Matrix 1 has one dominant row element reused across matrix 2's row.
+        matrix_a = np.array(
+            [
+                [2, 0, 0],
+                [0, 3, 0],
+                [0, 0, 4],
+                [0, 0, 5],
+            ]
+        )
+        matrix_b = np.array(
+            [
+                [1, 2, 3, 4],
+                [5, 0, 6, 0],
+                [0, 7, 0, 0],
+            ]
+        )
+        plan = dn.map_sparse_gemm(matrix_a, matrix_b)
+        # products: row0 -> 4, row1 -> 2, rows 2/3 -> 1 each = 8 non-zero products
+        assert plan.num_products == 8
+        assert plan.num_passes == 1
+        assert plan.utilization == pytest.approx(0.5)
+
+    def test_mapped_products_reproduce_the_gemm(self, rng):
+        dn = DistributionNetwork(8, 8)
+        matrix_a = random_sparse_matrix((6, 9), 0.6, Precision.INT8, rng)
+        matrix_b = random_sparse_matrix((9, 7), 0.5, Precision.INT8, rng)
+        plan = dn.map_sparse_gemm(matrix_a, matrix_b)
+        np.testing.assert_array_equal(
+            plan.compute_outputs((6, 7)), matrix_a @ matrix_b
+        )
+
+    def test_row_dataflow_classification(self):
+        dn = DistributionNetwork(4, 4)
+        matrix_a = np.array([[1, 0], [0, 0]])
+        matrix_b = np.array([[1, 2, 3, 4], [0, 0, 0, 0]])
+        plan = dn.map_sparse_gemm(matrix_a, matrix_b)
+        # One a-element broadcast to the whole first row of MACs.
+        assert plan.row_dataflows()[0] is DataflowMode.BROADCAST
+
+    def test_multiple_passes_when_products_exceed_array(self, rng):
+        dn = DistributionNetwork(2, 2)
+        matrix_a = np.ones((4, 4))
+        matrix_b = np.ones((4, 4))
+        plan = dn.map_sparse_gemm(matrix_a, matrix_b)
+        assert plan.num_products == 64
+        assert plan.num_passes == 16
+
+    def test_empty_matrices_produce_no_work(self):
+        dn = DistributionNetwork(4, 4)
+        plan = dn.map_sparse_gemm(np.zeros((4, 4)), np.zeros((4, 4)))
+        assert plan.num_products == 0
+        assert plan.num_passes == 0
+
+    def test_dimension_mismatch_rejected(self):
+        dn = DistributionNetwork(4, 4)
+        with pytest.raises(ValueError):
+            dn.map_sparse_gemm(np.ones((2, 3)), np.ones((4, 2)))
+
+
+class TestRoutingCost:
+    def test_distribute_counts_reads_and_hops(self, rng):
+        dn = DistributionNetwork(4, 4)
+        matrix_a = random_sparse_matrix((4, 4), 0.5, Precision.INT8, rng)
+        matrix_b = random_sparse_matrix((4, 4), 0.5, Precision.INT8, rng)
+        plan = dn.map_sparse_gemm(matrix_a, matrix_b)
+        costs = dn.distribute(plan)
+        assert costs["buffer_reads"] > 0
+        assert costs["switch_traversals"] >= 0
+        assert costs["mesh_traversals"] > 0
+
+    def test_num_switches(self):
+        dn = DistributionNetwork(4, 4)
+        # column NoC (3 switches for 4 leaves) + 4 row NoCs x 3 switches
+        assert dn.num_switches() == 3 + 4 * 3
+
+
+class TestCLBBandwidth:
+    def test_full_utilisation_with_clb(self):
+        for precision in Precision:
+            assert DistributionNetwork.clb_bandwidth_utilization(precision, True) == 1.0
+
+    def test_paper_utilisation_without_clb(self):
+        assert DistributionNetwork.clb_bandwidth_utilization(Precision.INT16, False) == pytest.approx(0.25)
+        assert DistributionNetwork.clb_bandwidth_utilization(Precision.INT8, False) == pytest.approx(0.5)
+        assert DistributionNetwork.clb_bandwidth_utilization(Precision.INT4, False) == pytest.approx(1.0)
+
+
+@given(
+    shape_k=st.integers(1, 10),
+    shape_m=st.integers(1, 8),
+    shape_n=st.integers(1, 8),
+    sparsity_a=st.floats(0.0, 0.95),
+    sparsity_b=st.floats(0.0, 0.95),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_dense_mapping_always_reproduces_matmul(
+    shape_k, shape_m, shape_n, sparsity_a, sparsity_b, seed
+):
+    """Property: the packed products always accumulate to A @ B exactly."""
+    rng = np.random.default_rng(seed)
+    matrix_a = random_sparse_matrix((shape_m, shape_k), sparsity_a, Precision.INT4, rng)
+    matrix_b = random_sparse_matrix((shape_k, shape_n), sparsity_b, Precision.INT4, rng)
+    plan = DistributionNetwork(4, 4).map_sparse_gemm(matrix_a, matrix_b)
+    np.testing.assert_array_equal(
+        plan.compute_outputs((shape_m, shape_n)), matrix_a @ matrix_b
+    )
+    assert plan.num_products == int(
+        sum(
+            np.count_nonzero(matrix_a[i, k] != 0) * np.count_nonzero(matrix_b[k])
+            for i in range(shape_m)
+            for k in range(shape_k)
+            if matrix_a[i, k] != 0
+        )
+    )

@@ -1,0 +1,102 @@
+"""Bit-exactness and cost tests for the bit-scalable MAC unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mac_unit import (
+    SHIFTERS_OPTIMIZED,
+    SHIFTERS_UNOPTIMIZED,
+    BitScalableMACUnit,
+)
+from repro.sparse.formats import Precision
+
+
+class TestLanes:
+    def test_lane_counts_match_fig6(self):
+        assert BitScalableMACUnit.lanes(Precision.INT16) == 1
+        assert BitScalableMACUnit.lanes(Precision.INT8) == 4
+        assert BitScalableMACUnit.lanes(Precision.INT4) == 16
+
+
+class TestFusedMultiplication:
+    @pytest.mark.parametrize("precision", list(Precision))
+    def test_extreme_values(self, precision):
+        unit = BitScalableMACUnit()
+        for a in (precision.min_value, -1, 0, 1, precision.max_value):
+            for b in (precision.min_value, -1, 0, 1, precision.max_value):
+                assert unit.multiply(a, b, precision) == a * b
+
+    def test_out_of_range_rejected(self):
+        unit = BitScalableMACUnit()
+        with pytest.raises(ValueError):
+            unit.multiply(200, 1, Precision.INT8)
+
+    def test_vector_lane_count_enforced(self):
+        unit = BitScalableMACUnit()
+        with pytest.raises(ValueError):
+            unit.multiply_vector(np.array([1, 2]), np.array([3, 4]), Precision.INT16)
+
+    def test_vector_products_and_ops(self, rng):
+        unit = BitScalableMACUnit()
+        a = rng.integers(-8, 8, size=16)
+        b = rng.integers(-8, 8, size=16)
+        result = unit.multiply_vector(a, b, Precision.INT4)
+        assert result.products == list(a * b)
+        assert result.sub_multiplier_ops == 16
+
+    def test_accumulation(self, rng):
+        unit = BitScalableMACUnit()
+        total = 0
+        for _ in range(5):
+            a = rng.integers(-100, 100, size=4)
+            b = rng.integers(-100, 100, size=4)
+            total += int(np.dot(a, b))
+            unit.multiply_accumulate(a, b, Precision.INT8)
+        assert unit.accumulator == total
+        unit.reset()
+        assert unit.accumulator == 0
+
+
+@given(
+    a=st.integers(-32768, 32767),
+    b=st.integers(-32768, 32767),
+)
+@settings(max_examples=200, deadline=None)
+def test_int16_fusion_is_exact(a, b):
+    """Sixteen 4x4 sub-multipliers fused with shift-adds reproduce a*b exactly."""
+    assert BitScalableMACUnit().multiply(a, b, Precision.INT16) == a * b
+
+
+@given(a=st.integers(-128, 127), b=st.integers(-128, 127))
+@settings(max_examples=150, deadline=None)
+def test_int8_fusion_is_exact(a, b):
+    assert BitScalableMACUnit().multiply(a, b, Precision.INT8) == a * b
+
+
+@given(a=st.integers(-8, 7), b=st.integers(-8, 7))
+@settings(max_examples=100, deadline=None)
+def test_int4_multiplication_is_exact(a, b):
+    assert BitScalableMACUnit().multiply(a, b, Precision.INT4) == a * b
+
+
+class TestCostModel:
+    def test_shifter_counts(self):
+        assert BitScalableMACUnit(optimized_shifters=True).num_shifters == SHIFTERS_OPTIMIZED
+        assert BitScalableMACUnit(optimized_shifters=False).num_shifters == SHIFTERS_UNOPTIMIZED
+
+    def test_costs_match_paper_fig12c(self):
+        """Calibration against Fig. 12(c): 4416.84 um2 / 1.86 mW vs 6161.9 / 3.42."""
+        optimized = BitScalableMACUnit(optimized_shifters=True).cost()
+        unoptimized = BitScalableMACUnit(optimized_shifters=False).cost()
+        assert optimized.area_um2 == pytest.approx(4416.84, rel=0.05)
+        assert optimized.power_mw == pytest.approx(1.86, rel=0.05)
+        assert unoptimized.area_um2 == pytest.approx(6161.9, rel=0.05)
+        assert unoptimized.power_mw == pytest.approx(3.42, rel=0.05)
+
+    def test_paper_reduction_percentages(self):
+        optimized = BitScalableMACUnit(optimized_shifters=True).cost()
+        unoptimized = BitScalableMACUnit(optimized_shifters=False).cost()
+        assert 1 - optimized.area_um2 / unoptimized.area_um2 == pytest.approx(0.283, abs=0.03)
+        assert 1 - optimized.power_mw / unoptimized.power_mw == pytest.approx(0.456, abs=0.03)

@@ -1,0 +1,49 @@
+"""Tests for the NoC and compression ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablation_compression, ablation_noc, run_experiment
+from repro.sparse.formats import Precision
+
+
+class TestNoCAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_noc.run(num_leaves=32, num_steps=48, reuse=0.6)
+
+    def test_feedback_path_saves_memory_energy(self, result):
+        """Paper Section 4.1.2: HMF-NoC spends ~2.5x less on-chip access energy."""
+        assert result.memory_access_energy_ratio > 1.5
+        assert result.hmf_buffer_reads < result.hm_buffer_reads
+
+    def test_clb_restores_full_bandwidth(self, result):
+        assert all(v == 1.0 for v in result.clb_bandwidth_utilization.values())
+        assert result.no_clb_bandwidth_utilization[Precision.INT16] == pytest.approx(0.25)
+        assert result.no_clb_bandwidth_utilization[Precision.INT8] == pytest.approx(0.5)
+
+    def test_registry_integration(self):
+        assert run_experiment("ablation-noc", num_leaves=16, num_steps=8) is not None
+
+    def test_format_table_renders(self, result):
+        text = ablation_noc.format_table(result)
+        assert "HMF-NoC" in text and "INT16" in text
+
+
+class TestCompressionAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_compression.run(models=("instant-ngp", "nerf"), pruning_ratio=0.7)
+
+    def test_compression_reduces_traffic_for_pruned_models(self, rows):
+        for row in rows:
+            assert row.compressed_bytes < row.uncompressed_bytes
+            assert row.traffic_reduction > 0.3
+
+    def test_higher_pruning_means_more_reduction(self):
+        light = ablation_compression.run(models=("nerf",), pruning_ratio=0.3)[0]
+        heavy = ablation_compression.run(models=("nerf",), pruning_ratio=0.9)[0]
+        assert heavy.traffic_reduction > light.traffic_reduction
+
+    def test_format_table_renders(self, rows):
+        text = ablation_compression.format_table(rows)
+        assert "reduction" in text

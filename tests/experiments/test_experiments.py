@@ -1,0 +1,215 @@
+"""Tests that every experiment runs and reproduces the paper's key trends."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments import (
+    fig01_gpu_latency,
+    fig04_mac_utilization,
+    fig07_footprint,
+    fig08_optimal_format,
+    fig16_cost,
+    fig18_latency_density,
+    fig19_speedup_energy,
+    fig20b_batch,
+)
+from repro.sparse.formats import Precision, SparsityFormat
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "fig01", "fig03", "fig04", "fig06", "fig07", "fig08", "fig12",
+            "fig13", "table02", "table03", "fig15", "fig16", "fig17",
+            "fig18", "fig19", "fig20a", "fig20b",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_every_module_has_run_and_format(self):
+        for module, _ in EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "format_table")
+
+
+class TestFig01:
+    def test_every_model_misses_realtime_thresholds(self):
+        rows = fig01_gpu_latency.run()
+        assert len(rows) == 7
+        assert all(row.exceeds_vr_threshold for row in rows)
+        assert all(row.exceeds_game_threshold for row in rows)
+
+
+class TestFig03:
+    def test_gemm_dominates_everywhere(self):
+        rows = run_experiment("fig03")
+        for row in rows:
+            assert row.gemm_fraction > 0.3
+            assert row.total == pytest.approx(1.0)
+        encoding_heavy = {row.model: row.encoding_fraction for row in rows}
+        assert encoding_heavy["instant-ngp"] > encoding_heavy["nerf"]
+
+
+class TestFig04:
+    def test_matches_paper_annotations(self):
+        rows = {row.scenario: row for row in fig04_mac_utilization.run()}
+        assert rows["early_cnn"].nvdla_utilization == pytest.approx(0.375)
+        assert rows["late_cnn"].nvdla_utilization == pytest.approx(1.0)
+        assert rows["late_cnn"].tpu_utilization == pytest.approx(0.5)
+        assert rows["irregular_dense_gemm"].nvdla_utilization == pytest.approx(0.0625)
+        assert rows["irregular_dense_gemm"].tpu_utilization == pytest.approx(1.0)
+        assert rows["irregular_sparse_gemm"].tpu_utilization == pytest.approx(0.6875)
+
+
+class TestFig06:
+    def test_fetch_size_doubles(self):
+        rows = run_experiment("fig06")
+        fetch = [row.fetch_bytes for row in rows]
+        assert fetch == [8192, 16384, 32768]
+
+
+class TestFig07And08:
+    def test_breakeven_moves_right_at_lower_precision(self):
+        series = fig07_footprint.run()
+        crossovers = {
+            precision: fig07_footprint.crossover_sparsity(series, precision)
+            for precision in (Precision.INT16, Precision.INT4)
+        }
+        assert (
+            crossovers[Precision.INT16][SparsityFormat.COO]
+            < crossovers[Precision.INT4][SparsityFormat.COO]
+        )
+
+    def test_format_progression(self):
+        rows = {row.precision: row for row in fig08_optimal_format.run()}
+        for row in rows.values():
+            formats = [fmt for _, fmt in row.transition_points()]
+            assert formats[0] is SparsityFormat.NONE
+            assert SparsityFormat.BITMAP in formats
+            assert formats[-1] in (SparsityFormat.CSR, SparsityFormat.COO)
+
+
+class TestFig12:
+    def test_reductions_match_paper(self):
+        result = run_experiment("fig12")
+        assert result.area_reduction == pytest.approx(0.283, abs=0.03)
+        assert result.power_reduction == pytest.approx(0.456, abs=0.03)
+        assert result.shifter_reduction == pytest.approx(1 / 3, abs=0.01)
+
+
+class TestFig13:
+    def test_stage_sparsity_trends(self):
+        rows = {row.scene: row for row in run_experiment("fig13")}
+        for row in rows.values():
+            assert row.input_ray_marching > 0.5
+            assert row.output_relu1 < 0.1
+            assert 0.2 < row.output < 0.8
+        assert rows["mic"].input_ray_marching > rows["lego"].input_ray_marching
+
+
+class TestTable03:
+    def test_flexnerfer_has_best_effective_efficiency(self):
+        table = run_experiment("table03")
+        flex = table.row("FlexNeRFer MAC Array")
+        for name in ("SIGMA", "Bit Fusion", "Bit-Scalable SIGMA"):
+            other = table.row(name)
+            shared = set(flex.effective_efficiency) & set(other.effective_efficiency)
+            for precision in shared:
+                assert (
+                    flex.effective_efficiency[precision]
+                    >= other.effective_efficiency[precision]
+                )
+
+
+class TestFig16And17:
+    def test_only_accelerators_fit_constraints(self):
+        rows = {row.device: row for row in fig16_cost.run()}
+        assert not rows["RTX 2080 Ti"].meets_area_constraint
+        assert rows["NeuRex"].meets_area_constraint and rows["NeuRex"].meets_power_constraint
+        assert rows["FlexNeRFer"].meets_area_constraint and rows["FlexNeRFer"].meets_power_constraint
+
+    def test_overheads_relative_to_neurex(self):
+        result = run_experiment("fig17")
+        assert 0.2 < result.area_overhead < 0.8      # paper: ~48 %
+        assert 0.1 < result.power_overhead < 0.6     # paper: ~35 %
+        assert 0.0 < result.format_codec_area_fraction < 0.08
+
+
+class TestFig18:
+    def test_latency_and_density_trends(self):
+        rows = fig18_latency_density.run()
+        flex = {row.precision: row for row in rows if row.device == "FlexNeRFer"}
+        assert flex[Precision.INT16].normalized_latency < 0.6
+        assert (
+            flex[Precision.INT4].normalized_latency
+            < flex[Precision.INT8].normalized_latency
+            < flex[Precision.INT16].normalized_latency
+        )
+        assert flex[Precision.INT16].compute_density > 1.0
+        assert flex[Precision.INT4].compute_density > flex[Precision.INT16].compute_density
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig19_speedup_energy.run(
+            models=("instant-ngp",), pruning_ratios=(0.0, 0.5, 0.9)
+        )
+
+    def test_neurex_flat_flexnerfer_grows(self, points):
+        neurex = [p for p in points if p.device == "NeuRex"]
+        assert max(p.speedup for p in neurex) == pytest.approx(
+            min(p.speedup for p in neurex)
+        )
+        flex16 = [
+            p for p in points
+            if p.device == "FlexNeRFer" and p.precision is Precision.INT16
+        ]
+        assert flex16[-1].speedup > flex16[0].speedup
+
+    def test_lower_precision_is_faster(self, points):
+        def speedup(precision):
+            return next(
+                p.speedup for p in points
+                if p.device == "FlexNeRFer" and p.precision is precision
+                and p.pruning_ratio == 0.0
+            )
+        assert speedup(Precision.INT4) > speedup(Precision.INT8) > speedup(Precision.INT16)
+
+    def test_flexnerfer_beats_neurex_and_gpu(self, points):
+        neurex = next(p for p in points if p.device == "NeuRex")
+        flex = next(
+            p for p in points
+            if p.device == "FlexNeRFer" and p.precision is Precision.INT16
+            and p.pruning_ratio == 0.0
+        )
+        assert flex.speedup > neurex.speedup > 1.0
+        assert flex.energy_efficiency_gain > 1.0
+
+
+class TestFig20:
+    def test_psnr_trends(self):
+        points = {p.label: p for p in run_experiment("fig20a")}
+        # INT16 is essentially loss-less, lower precisions degrade monotonically.
+        assert points["INT16"].psnr_db > 40.0
+        assert points["INT16"].psnr_db >= points["INT8"].psnr_db >= points["INT4"].psnr_db
+        # Keeping outliers at INT16 recovers quality without losing the gain.
+        assert points["INT8 + outliers"].psnr_db >= points["INT8"].psnr_db
+        assert points["INT4 + outliers"].psnr_db >= points["INT4"].psnr_db
+        assert points["INT4"].energy_efficiency_gain > points["INT16"].energy_efficiency_gain
+
+    def test_batch_sweep_trends(self):
+        points = fig20b_batch.run()
+        by_scene = {}
+        for point in points:
+            by_scene.setdefault(point.scene, []).append(point)
+        for scene_points in by_scene.values():
+            speedups = [p.speedup for p in sorted(scene_points, key=lambda p: p.batch_size)]
+            assert speedups[-1] >= speedups[0]                 # grows with batch size
+            assert speedups[-1] == pytest.approx(speedups[-2], rel=0.05)  # plateaus
+        mic = min(p.flexnerfer_latency_s for p in by_scene["mic"])
+        palace = min(p.flexnerfer_latency_s for p in by_scene["palace"])
+        assert mic < palace                                     # simple scene is faster

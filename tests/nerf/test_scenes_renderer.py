@@ -1,0 +1,128 @@
+"""Tests for the synthetic scenes and the functional renderers."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.hashgrid import HashGridConfig
+from repro.nerf.rays import Camera
+from repro.nerf.renderer import InstantNGPRenderer, VanillaNeRFRenderer, render_reference
+from repro.nerf.scenes import SCENE_LIBRARY, SyntheticScene, get_scene
+from repro.quant.metrics import psnr
+from repro.sparse.formats import Precision
+
+SMALL_CAMERA = Camera(width=24, height=24, focal=28.0)
+SMALL_GRID = HashGridConfig(
+    num_levels=4, features_per_level=4, log2_table_size=12,
+    base_resolution=8, max_resolution=32,
+)
+
+
+class TestScenes:
+    def test_library_contains_paper_scenes(self):
+        for name in ("lego", "mic", "palace"):
+            assert name in SCENE_LIBRARY
+
+    def test_measured_occupancy_tracks_target(self):
+        for name in ("lego", "mic"):
+            scene = get_scene(name)
+            measured = scene.measured_occupancy(num_samples=30000)
+            assert measured == pytest.approx(scene.target_occupancy, abs=0.12)
+
+    def test_mic_sparser_than_lego(self):
+        assert get_scene("mic").ray_marching_sparsity > get_scene("lego").ray_marching_sparsity
+
+    def test_palace_more_complex_than_mic(self):
+        assert get_scene("palace").effective_samples_scale > get_scene("mic").effective_samples_scale
+
+    def test_density_and_color_shapes(self, rng):
+        scene = get_scene("lego")
+        points = rng.uniform(-1, 1, size=(50, 3))
+        assert scene.density(points).shape == (50,)
+        assert scene.color(points).shape == (50, 3)
+        assert scene.density(points).min() >= 0.0
+
+    def test_unknown_scene(self):
+        with pytest.raises(KeyError):
+            get_scene("millennium-falcon")
+
+    def test_invalid_scene_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticScene(name="bad", complexity=1.0, target_occupancy=0.0, num_primitives=4)
+        with pytest.raises(ValueError):
+            SyntheticScene(name="bad", complexity=1.0, target_occupancy=0.5, num_primitives=0)
+
+
+class TestReferenceRender:
+    def test_reference_image_shape_and_range(self):
+        image = render_reference(get_scene("mic"), SMALL_CAMERA, num_samples=24)
+        assert image.shape == (24, 24, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_scene_content_visible(self):
+        """The rendered scene is not a uniform background."""
+        image = render_reference(get_scene("lego"), SMALL_CAMERA, num_samples=24)
+        assert image.std() > 0.01
+
+
+class TestVanillaRenderer:
+    def test_render_shape(self):
+        renderer = VanillaNeRFRenderer(hidden_width=32, num_hidden_layers=2)
+        image = renderer.render(SMALL_CAMERA, num_samples=8)
+        assert image.shape == (24, 24, 3)
+        assert renderer.stats.num_samples == 24 * 24 * 8
+
+    def test_query_shapes(self, rng):
+        renderer = VanillaNeRFRenderer(hidden_width=32, num_hidden_layers=2)
+        densities, colors = renderer.query(rng.random((10, 3)), rng.random((10, 3)))
+        assert densities.shape == (10,)
+        assert colors.shape == (10, 3)
+
+
+class TestInstantNGPRenderer:
+    def _fitted(self, scene_name="lego"):
+        renderer = InstantNGPRenderer(SMALL_GRID)
+        renderer.fit_to_scene(get_scene(scene_name))
+        return renderer
+
+    def test_requires_fitting(self):
+        with pytest.raises(RuntimeError):
+            InstantNGPRenderer(SMALL_GRID).render(SMALL_CAMERA)
+
+    def test_fitted_render_approximates_reference(self):
+        renderer = self._fitted()
+        image = renderer.render(SMALL_CAMERA, num_samples=24)
+        reference = render_reference(get_scene("lego"), SMALL_CAMERA, num_samples=24)
+        assert psnr(reference, image) > 12.0
+
+    def test_stage_sparsity_recorded(self):
+        renderer = self._fitted()
+        renderer.render(SMALL_CAMERA, num_samples=16)
+        stages = renderer.stats.stage_sparsity
+        assert set(stages) == {"input_ray_marching", "output_relu1", "output"}
+        assert stages["input_ray_marching"] > 0.5
+        assert stages["output_relu1"] < 0.2
+
+    def test_sparser_scene_has_sparser_input(self):
+        lego = self._fitted("lego")
+        mic = self._fitted("mic")
+        lego.render(SMALL_CAMERA, num_samples=16)
+        mic.render(SMALL_CAMERA, num_samples=16)
+        assert (
+            mic.stats.stage_sparsity["input_ray_marching"]
+            > lego.stats.stage_sparsity["input_ray_marching"]
+        )
+
+    def test_int16_quantization_nearly_lossless(self):
+        renderer = self._fitted()
+        fp32 = renderer.render(SMALL_CAMERA, num_samples=16, record_stats=False)
+        int16 = renderer.render(
+            SMALL_CAMERA, num_samples=16, precision=Precision.INT16, record_stats=False
+        )
+        assert psnr(fp32, int16) > 40.0
+
+    def test_lower_precision_degrades_quality(self):
+        renderer = self._fitted()
+        fp32 = renderer.render(SMALL_CAMERA, num_samples=16, record_stats=False)
+        int8 = renderer.render(SMALL_CAMERA, num_samples=16, precision=Precision.INT8, record_stats=False)
+        int4 = renderer.render(SMALL_CAMERA, num_samples=16, precision=Precision.INT4, record_stats=False)
+        assert psnr(fp32, int8) >= psnr(fp32, int4)

@@ -1,0 +1,140 @@
+"""Tests for workload descriptors and the seven per-model builders."""
+
+import pytest
+
+from repro.nerf.models import MODEL_REGISTRY, FrameConfig, all_models, get_model
+from repro.nerf.workload import EncodingOp, GEMMOp, MiscOp, OpCategory, Workload
+from repro.sparse.formats import Precision
+
+
+class TestGEMMOp:
+    def test_macs_and_flops(self):
+        op = GEMMOp("x", m=10, n=20, k=30)
+        assert op.macs == 6000
+        assert op.flops == 12000
+
+    def test_effective_macs_with_sparsity(self):
+        op = GEMMOp("x", m=10, n=10, k=10, weight_sparsity=0.5, activation_sparsity=0.5)
+        assert op.effective_macs == pytest.approx(250)
+
+    def test_pruning_compounds_with_existing_sparsity(self):
+        op = GEMMOp("x", m=4, n=4, k=4, weight_sparsity=0.5)
+        pruned = op.pruned(0.5)
+        assert pruned.weight_sparsity == pytest.approx(0.75)
+
+    def test_precision_change_preserves_other_fields(self):
+        op = GEMMOp("x", m=4, n=4, k=4, activation_sparsity=0.3)
+        changed = op.with_precision(Precision.INT4)
+        assert changed.precision is Precision.INT4
+        assert changed.activation_sparsity == 0.3
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GEMMOp("x", m=0, n=1, k=1)
+        with pytest.raises(ValueError):
+            GEMMOp("x", m=1, n=1, k=1, weight_sparsity=1.0)
+
+
+class TestEncodingAndMiscOps:
+    def test_positional_flops_scale_with_output(self):
+        small = EncodingOp("p", "positional", num_points=100, input_dim=3, output_dim=30)
+        large = EncodingOp("p", "positional", num_points=100, input_dim=3, output_dim=60)
+        assert large.flops == 2 * small.flops
+
+    def test_hash_dram_bytes_capped_by_lookups(self):
+        op = EncodingOp(
+            "h", "hash", num_points=10, input_dim=3, output_dim=32,
+            table_lookups_per_point=8, table_bytes=1e9, table_passes=2,
+        )
+        assert op.dram_bytes == 10 * 8 * 4.0
+
+    def test_positional_has_no_dram_traffic(self):
+        op = EncodingOp("p", "positional", num_points=10, input_dim=3, output_dim=30)
+        assert op.dram_bytes == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EncodingOp("x", "fourier", num_points=1, input_dim=1, output_dim=1)
+
+    def test_misc_validation(self):
+        with pytest.raises(ValueError):
+            MiscOp("m", flops=-1, memory_bytes=0)
+
+
+class TestWorkload:
+    def _workload(self):
+        return Workload(
+            model_name="test",
+            ops=[
+                GEMMOp("g", m=100, n=64, k=32),
+                EncodingOp("e", "positional", num_points=100, input_dim=3, output_dim=60),
+                MiscOp("m", flops=1000, memory_bytes=100),
+            ],
+        )
+
+    def test_category_totals(self):
+        workload = self._workload()
+        by_category = workload.flops_by_category()
+        assert by_category[OpCategory.GEMM] == 2 * 100 * 64 * 32
+        assert by_category[OpCategory.OTHER] == 1000
+        assert workload.total_flops == sum(by_category.values())
+
+    def test_pruning_only_affects_gemms(self):
+        pruned = self._workload().pruned(0.5)
+        assert pruned.gemm_ops()[0].weight_sparsity == 0.5
+        assert len(pruned.encoding_ops()) == 1
+
+    def test_precision_change(self):
+        converted = self._workload().with_precision(Precision.INT4)
+        assert all(op.precision is Precision.INT4 for op in converted.gemm_ops())
+
+    def test_num_batches(self):
+        workload = self._workload()
+        assert workload.num_rays == 800 * 800
+        assert workload.num_batches == -(-800 * 800 // 4096)
+
+
+class TestModelDescriptors:
+    def test_registry_has_seven_models(self):
+        assert len(MODEL_REGISTRY) == 7
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_every_model_builds_a_workload(self, name):
+        workload = get_model(name).build_workload(FrameConfig())
+        assert workload.total_flops > 0
+        assert len(workload.gemm_ops()) >= 1
+        assert len(workload.encoding_ops()) >= 1
+        assert len(workload.misc_ops()) >= 1
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("gaussian-splatting")
+
+    def test_vanilla_nerf_is_heaviest_positional_model(self):
+        config = FrameConfig()
+        flops = {m.name: m.build_workload(config).total_flops for m in all_models()}
+        assert flops["nerf"] > flops["instant-ngp"]
+        assert flops["nerf"] > flops["kilonerf"]
+
+    def test_instant_ngp_skips_empty_space(self):
+        config = FrameConfig()
+        model = get_model("instant-ngp")
+        assert model.uses_empty_space_skipping
+        assert model.input_sparsity(config) == pytest.approx(
+            config.scene.ray_marching_sparsity
+        )
+
+    def test_skipping_models_sample_fewer_points_on_sparser_scenes(self):
+        model = get_model("kilonerf")
+        lego = model.samples_per_ray(FrameConfig(scene_name="lego"))
+        mic = model.samples_per_ray(FrameConfig(scene_name="mic"))
+        assert mic < lego
+
+    def test_batch_size_propagates(self):
+        workload = get_model("nerf").build_workload(FrameConfig(batch_size=2048))
+        assert workload.batch_size == 2048
+
+    def test_hash_models_have_table_traffic(self):
+        workload = get_model("instant-ngp").build_workload(FrameConfig())
+        hash_ops = [op for op in workload.encoding_ops() if op.kind == "hash"]
+        assert hash_ops and all(op.table_bytes > 0 for op in hash_ops)

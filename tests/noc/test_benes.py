@@ -1,0 +1,62 @@
+"""Tests (including property-based) for the Benes network."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.benes import BenesNetwork
+
+
+class TestStructure:
+    def test_stage_and_switch_counts(self):
+        assert BenesNetwork(2).num_stages == 1
+        assert BenesNetwork(4).num_stages == 3
+        assert BenesNetwork(8).num_stages == 5
+        assert BenesNetwork(8).num_switches == 5 * 4
+        assert BenesNetwork(64).num_stages == 11
+
+    def test_rejects_non_power_of_two(self):
+        for size in (0, 1, 3, 6, 12):
+            with pytest.raises(ValueError):
+                BenesNetwork(size)
+
+
+class TestRouting:
+    def test_identity_permutation(self):
+        net = BenesNetwork(8)
+        values = list(range(8))
+        assert net.apply(list(range(8)), values) == values
+
+    def test_reverse_permutation(self):
+        net = BenesNetwork(8)
+        perm = list(reversed(range(8)))
+        assert net.apply(perm, list("abcdefgh")) == list("hgfedcba")
+
+    def test_all_permutations_of_4_are_routable(self):
+        net = BenesNetwork(4)
+        values = ["w", "x", "y", "z"]
+        for perm in itertools.permutations(range(4)):
+            routed = net.apply(list(perm), values)
+            assert routed == [values[perm[i]] for i in range(4)]
+
+    def test_invalid_permutation_rejected(self):
+        net = BenesNetwork(4)
+        with pytest.raises(ValueError):
+            net.route([0, 0, 1, 2])
+
+    def test_route_reports_traversals(self):
+        route = BenesNetwork(8).route(list(reversed(range(8))))
+        assert route.switch_traversals > 0
+
+
+@given(data=st.data(), exponent=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_any_permutation_is_rearrangeable(data, exponent):
+    """A Benes network realises every permutation (rearrangeable non-blocking)."""
+    size = 2**exponent
+    perm = data.draw(st.permutations(list(range(size))))
+    net = BenesNetwork(size)
+    values = [f"value-{i}" for i in range(size)]
+    assert net.apply(list(perm), values) == [values[perm[i]] for i in range(size)]

@@ -1,0 +1,100 @@
+"""Tests for the HM-NoC / HMF-NoC distribution trees."""
+
+import pytest
+
+from repro.noc.dataflow import DataflowMode
+from repro.noc.hierarchical import HMFNoC, HMNoC
+
+
+class TestStructure:
+    def test_switch_counts(self):
+        noc = HMNoC(16)
+        assert noc.levels == 4
+        assert noc.num_switches == 1 + 2 + 4 + 8
+
+    def test_hmf_uses_3x3_switches(self):
+        noc = HMFNoC(8)
+        assert noc.switches[0][0].num_inputs == 3
+        assert noc.has_feedback
+
+    def test_hm_uses_2x2_switches(self):
+        noc = HMNoC(8)
+        assert noc.switches[0][0].num_inputs == 2
+        assert not noc.has_feedback
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            HMNoC(0)
+        with pytest.raises(ValueError):
+            HMNoC(4, fanout=1)
+
+
+class TestRouting:
+    def test_broadcast_needs_one_buffer_read(self):
+        for noc in (HMNoC(16), HMFNoC(16)):
+            result = noc.route(["X"] * 16)
+            assert result.mode is DataflowMode.BROADCAST
+            assert result.buffer_reads == 1
+
+    def test_unicast_reads_every_value(self):
+        noc = HMNoC(8)
+        result = noc.route(list("abcdefgh"))
+        assert result.mode is DataflowMode.UNICAST
+        assert result.buffer_reads == 8
+
+    def test_multicast_reads_each_distinct_value_once(self):
+        noc = HMNoC(8)
+        result = noc.route(["a", "a", "a", "a", "b", "b", "b", "b"])
+        assert result.mode is DataflowMode.MULTICAST
+        assert result.buffer_reads == 2
+
+    def test_broadcast_shares_switch_paths(self):
+        noc = HMNoC(16)
+        broadcast = noc.route(["X"] * 16)
+        noc.reset()
+        unicast = noc.route([f"v{i}" for i in range(16)])
+        assert broadcast.switch_traversals < unicast.switch_traversals
+
+    def test_oversized_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            HMNoC(4).route(["a"] * 5)
+
+    def test_deliveries_skip_none(self):
+        result = HMNoC(4).route(["a", None, "b", None])
+        assert result.deliveries == {0: "a", 2: "b"}
+
+
+class TestFeedbackReuse:
+    def test_resident_values_are_not_refetched(self):
+        noc = HMFNoC(8)
+        noc.route(["A"] * 8)
+        result = noc.route(["A"] * 4 + ["B"] * 4)
+        assert result.buffer_reads == 1          # only 'B' is new
+        assert result.feedback_forwards == 4     # 'A' forwarded in-array
+
+    def test_hm_noc_always_refetches(self):
+        noc = HMNoC(8)
+        noc.route(["A"] * 8)
+        result = noc.route(["A"] * 4 + ["B"] * 4)
+        assert result.buffer_reads == 2
+        assert result.feedback_forwards == 0
+
+    def test_reset_clears_residency(self):
+        noc = HMFNoC(8)
+        noc.route(["A"] * 8)
+        noc.reset()
+        result = noc.route(["A"] * 8)
+        assert result.buffer_reads == 1
+        assert result.feedback_forwards == 0
+
+    def test_hmf_reads_never_exceed_hm(self):
+        hm, hmf = HMNoC(16), HMFNoC(16)
+        sequences = [
+            ["A"] * 16,
+            ["A"] * 8 + ["B"] * 8,
+            [f"v{i % 4}" for i in range(16)],
+            ["B"] * 16,
+        ]
+        hm_reads = sum(hm.route(seq).buffer_reads for seq in sequences)
+        hmf_reads = sum(hmf.route(seq).buffer_reads for seq in sequences)
+        assert hmf_reads <= hm_reads

@@ -1,0 +1,94 @@
+"""Tests for the 1D mesh, switching nodes and the NoC energy model."""
+
+import pytest
+
+from repro.noc.energy import NoCEnergyModel
+from repro.noc.hierarchical import HMFNoC, HMNoC
+from repro.noc.mesh import Mesh1D
+from repro.noc.switch import Switch2x2, Switch3x3, SwitchPort
+
+
+class TestMesh1D:
+    def test_unicast_delivery(self):
+        mesh = Mesh1D(4)
+        delivery = mesh.route(["a", "b", None, "d"])
+        assert delivery.deliveries == {0: "a", 1: "b", 3: "d"}
+        assert delivery.buffer_reads == 3
+        # hops: node0 -> 1 link, node1 -> 2, node3 -> 4
+        assert delivery.link_traversals == 1 + 2 + 4
+
+    def test_oversized_assignment(self):
+        with pytest.raises(ValueError):
+            Mesh1D(2).route(["a", "b", "c"])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Mesh1D(0)
+
+
+class TestSwitches:
+    def test_2x2_forwarding(self):
+        switch = Switch2x2()
+        switch.configure({0: SwitchPort.SRC0, 1: SwitchPort.SRC1})
+        out = switch.forward({SwitchPort.SRC0: "a", SwitchPort.SRC1: "b"})
+        assert out == {0: "a", 1: "b"}
+        assert switch.activations == 1
+
+    def test_2x2_rejects_feedback(self):
+        with pytest.raises(ValueError):
+            Switch2x2().configure({0: SwitchPort.FEEDBACK})
+
+    def test_3x3_accepts_feedback(self):
+        switch = Switch3x3()
+        switch.configure({2: SwitchPort.FEEDBACK})
+        out = switch.forward({SwitchPort.FEEDBACK: "loop"})
+        assert out == {2: "loop"}
+
+    def test_invalid_output_index(self):
+        with pytest.raises(ValueError):
+            Switch2x2().configure({5: SwitchPort.SRC0})
+
+
+class TestEnergyModel:
+    def _alternating_sequences(self, noc):
+        results = []
+        patterns = [
+            ["A"] * 16,
+            ["A"] * 8 + ["B"] * 8,
+            ["B"] * 12 + ["C"] * 4,
+            ["C"] * 16,
+        ]
+        for pattern in patterns:
+            results.append(noc.route(pattern))
+        return results
+
+    def test_hmf_buffer_energy_lower_than_hm(self):
+        """The feedback path cuts on-chip memory access energy (paper: ~2.5x)."""
+        model = NoCEnergyModel()
+        hm_results = self._alternating_sequences(HMNoC(16))
+        hmf_results = self._alternating_sequences(HMFNoC(16))
+        ratio = model.memory_access_energy_ratio(hm_results, hmf_results)
+        assert ratio > 1.5
+
+    def test_route_energy_components_positive(self):
+        model = NoCEnergyModel()
+        result = HMFNoC(8).route(["a"] * 8)
+        energy = model.route_energy(result)
+        assert energy.buffer_read_j > 0
+        assert energy.switch_j > 0
+        assert energy.total_j == pytest.approx(
+            energy.buffer_read_j + energy.switch_j + energy.feedback_j
+        )
+
+    def test_sequence_energy_accumulates(self):
+        model = NoCEnergyModel()
+        noc = HMNoC(8)
+        single = model.route_energy(noc.route(["a"] * 8))
+        noc.reset()
+        double = model.sequence_energy([noc.route(["a"] * 8), noc.route(["b"] * 8)])
+        assert double.total_j == pytest.approx(2 * single.total_j, rel=0.2)
+
+    def test_zero_read_sequence_raises(self):
+        model = NoCEnergyModel()
+        with pytest.raises(ZeroDivisionError):
+            model.memory_access_energy_ratio([], [])

@@ -1,0 +1,90 @@
+"""Tests for the array configuration and GEMM tiling."""
+
+import pytest
+
+from repro.nerf.workload import GEMMOp
+from repro.sim.array_config import ArrayConfig, MappingFlexibility
+from repro.sim.tiling import tile_counts
+from repro.sparse.formats import Precision
+
+
+def _flexible_config(**overrides):
+    defaults = dict(
+        name="test",
+        rows=64,
+        cols=64,
+        bit_scalable=True,
+        supports_sparsity=True,
+        mapping=MappingFlexibility.FLEXIBLE,
+    )
+    defaults.update(overrides)
+    return ArrayConfig(**defaults)
+
+
+class TestArrayConfig:
+    def test_bit_scalable_precisions(self):
+        config = _flexible_config()
+        assert set(config.supported_precisions()) == {
+            Precision.INT4, Precision.INT8, Precision.INT16,
+        }
+
+    def test_fixed_precision_array_falls_back(self):
+        config = ArrayConfig(name="dense", bit_scalable=False)
+        assert config.effective_precision(Precision.INT4) is Precision.INT16
+
+    def test_lane_scaling(self):
+        config = _flexible_config()
+        assert config.lane_scale(Precision.INT16) == 1
+        assert config.lane_scale(Precision.INT8) == 4
+        assert config.lane_scale(Precision.INT4) == 16
+
+    def test_effective_grid_and_macs(self):
+        config = _flexible_config()
+        assert config.effective_grid(Precision.INT4) == (256, 256)
+        assert config.macs_per_cycle(Precision.INT16) == 64 * 64
+        assert config.macs_per_cycle(Precision.INT4) == 256 * 256
+
+    def test_peak_ops(self):
+        config = _flexible_config(frequency_hz=800e6)
+        assert config.peak_ops_per_second(Precision.INT16) == pytest.approx(
+            2 * 4096 * 800e6
+        )
+
+    def test_fetch_bytes_double_per_precision_step(self):
+        config = _flexible_config()
+        assert config.data_fetch_bytes(Precision.INT16) == 8192
+        assert config.data_fetch_bytes(Precision.INT8) == 16384
+        assert config.data_fetch_bytes(Precision.INT4) == 32768
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(name="bad", rows=0)
+        with pytest.raises(ValueError):
+            ArrayConfig(name="bad", frequency_hz=0)
+        with pytest.raises(ValueError):
+            ArrayConfig(name="bad", pipeline_overhead=1.5)
+
+
+class TestTiling:
+    def test_exact_fit(self):
+        op = GEMMOp("g", m=64, n=64, k=64)
+        grid = tile_counts(op, _flexible_config())
+        assert (grid.tiles_m, grid.tiles_n, grid.tiles_k) == (1, 1, 1)
+        assert grid.edge_utilization == 1.0
+
+    def test_irregular_shape_wastes_boundary(self):
+        op = GEMMOp("g", m=65, n=65, k=65)
+        grid = tile_counts(op, _flexible_config())
+        assert grid.num_tiles == 8
+        assert grid.edge_utilization < 0.2
+
+    def test_lower_precision_uses_larger_tiles(self):
+        op = GEMMOp("g", m=256, n=256, k=256, precision=Precision.INT4)
+        grid = tile_counts(op, _flexible_config())
+        assert grid.tile_m == 256
+        assert grid.num_tiles == 1
+
+    def test_output_tiles(self):
+        op = GEMMOp("g", m=200, n=100, k=64)
+        grid = tile_counts(op, _flexible_config())
+        assert grid.num_output_tiles == grid.tiles_m * grid.tiles_n

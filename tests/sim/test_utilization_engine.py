@@ -1,0 +1,164 @@
+"""Tests for the utilisation models, the cycle model and the traffic model."""
+
+import pytest
+
+from repro.hw.sram import SRAMMacro
+from repro.nerf.workload import GEMMOp, OpCategory
+from repro.sim.array_config import ArrayConfig, MappingFlexibility
+from repro.sim.engine import GEMMCycleModel
+from repro.sim.memory import MemoryTrafficModel
+from repro.sim.trace import ExecutionTrace, OpRecord
+from repro.sim.utilization import (
+    dense_mapping_utilization,
+    effective_mac_utilization,
+    flexible_packing_efficiency,
+    sparse_mapping_utilization,
+)
+from repro.sparse.formats import Precision, SparsityFormat
+
+
+FLEXIBLE = ArrayConfig(
+    name="flex", bit_scalable=True, supports_sparsity=True,
+    mapping=MappingFlexibility.FLEXIBLE,
+)
+RIGID = ArrayConfig(name="rigid", mapping=MappingFlexibility.RIGID)
+
+
+class TestUtilization:
+    def test_flexible_mapping_is_shape_insensitive(self):
+        square = GEMMOp("a", m=4096, n=64, k=64)
+        irregular = GEMMOp("b", m=4096, n=65, k=37)
+        assert dense_mapping_utilization(square, FLEXIBLE) == pytest.approx(
+            dense_mapping_utilization(irregular, FLEXIBLE)
+        )
+
+    def test_rigid_mapping_suffers_on_irregular_shapes(self):
+        square = GEMMOp("a", m=4096, n=64, k=64)
+        irregular = GEMMOp("b", m=4096, n=65, k=37)
+        assert dense_mapping_utilization(irregular, RIGID) < dense_mapping_utilization(
+            square, RIGID
+        )
+
+    def test_packing_efficiency_decreases_with_precision(self):
+        assert (
+            flexible_packing_efficiency(Precision.INT16)
+            > flexible_packing_efficiency(Precision.INT8)
+            > flexible_packing_efficiency(Precision.INT4)
+        )
+
+    def test_sparse_mapping_ignores_sparsity_pattern(self):
+        dense = GEMMOp("a", m=1000, n=128, k=128)
+        sparse = GEMMOp("b", m=1000, n=128, k=128, activation_sparsity=0.9)
+        assert sparse_mapping_utilization(sparse, FLEXIBLE) == pytest.approx(
+            sparse_mapping_utilization(dense, FLEXIBLE)
+        )
+
+    def test_effective_utilization_penalises_non_sparse_arrays(self):
+        op = GEMMOp("a", m=1000, n=64, k=64, activation_sparsity=0.5)
+        assert effective_mac_utilization(op, RIGID) < effective_mac_utilization(op, FLEXIBLE)
+
+
+class TestCycleModel:
+    def test_sparsity_speeds_up_flexible_arrays(self):
+        model = GEMMCycleModel(FLEXIBLE)
+        dense = model.execute(GEMMOp("d", m=100000, n=256, k=256))
+        sparse = model.execute(
+            GEMMOp("s", m=100000, n=256, k=256, activation_sparsity=0.5)
+        )
+        assert sparse.compute_cycles < dense.compute_cycles
+
+    def test_sparsity_does_not_help_rigid_arrays(self):
+        model = GEMMCycleModel(RIGID)
+        dense = model.execute(GEMMOp("d", m=100000, n=256, k=256))
+        sparse = model.execute(
+            GEMMOp("s", m=100000, n=256, k=256, activation_sparsity=0.5)
+        )
+        assert sparse.compute_cycles == pytest.approx(dense.compute_cycles)
+
+    def test_lower_precision_reduces_cycles_on_bit_scalable_array(self):
+        model = GEMMCycleModel(FLEXIBLE)
+        int16 = model.execute(GEMMOp("a", m=100000, n=256, k=256, precision=Precision.INT16))
+        int4 = model.execute(GEMMOp("a", m=100000, n=256, k=256, precision=Precision.INT4))
+        assert int4.compute_cycles < int16.compute_cycles / 4
+
+    def test_format_conversion_overhead(self):
+        config = ArrayConfig(
+            name="conv", bit_scalable=True, supports_sparsity=True,
+            mapping=MappingFlexibility.FLEXIBLE, format_conversion_overhead=0.1,
+        )
+        execution = GEMMCycleModel(config).execute(GEMMOp("a", m=1000, n=64, k=64))
+        assert execution.format_conversion_cycles == pytest.approx(
+            0.1 * execution.compute_cycles
+        )
+
+    def test_total_time_is_sum_of_components(self):
+        execution = GEMMCycleModel(FLEXIBLE).execute(GEMMOp("a", m=1000, n=64, k=64))
+        assert execution.total_time_s == pytest.approx(
+            execution.compute_time_s
+            + execution.dram_time_s
+            + execution.format_conversion_time_s
+        )
+
+    def test_execute_all(self):
+        ops = [GEMMOp("a", m=100, n=64, k=64), GEMMOp("b", m=100, n=32, k=32)]
+        assert len(GEMMCycleModel(FLEXIBLE).execute_all(ops)) == 2
+
+
+class TestMemoryTraffic:
+    def test_compression_reduces_weight_traffic(self):
+        op = GEMMOp("a", m=1000, n=256, k=256, weight_sparsity=0.8)
+        compressed = MemoryTrafficModel(compression_enabled=True).traffic(op)
+        dense = MemoryTrafficModel(compression_enabled=False).traffic(op)
+        assert compressed.weight_bytes < dense.weight_bytes
+        assert compressed.weight_format is not SparsityFormat.NONE
+
+    def test_resident_activations_cost_nothing(self):
+        op = GEMMOp("a", m=100000, n=64, k=64, activations_from_dram=False)
+        report = MemoryTrafficModel().traffic(op)
+        assert report.activation_bytes == 0.0
+
+    def test_dram_activations_counted(self):
+        op = GEMMOp("a", m=100000, n=64, k=64, activations_from_dram=True)
+        report = MemoryTrafficModel().traffic(op)
+        assert report.activation_bytes > 0.0
+
+    def test_weights_refetched_when_exceeding_buffer(self):
+        small_buffer = MemoryTrafficModel(
+            weight_buffer=SRAMMacro("tiny", capacity_bytes=1 << 10)
+        )
+        op = GEMMOp("a", m=10000, n=256, k=256)
+        report = small_buffer.traffic(op, tiles_m=100)
+        single = MemoryTrafficModel().traffic(op, tiles_m=100)
+        assert report.weight_bytes > single.weight_bytes
+
+    def test_transfer_time_and_energy_positive(self):
+        op = GEMMOp("a", m=100, n=256, k=256, outputs_to_dram=True)
+        model = MemoryTrafficModel()
+        report = model.traffic(op)
+        assert model.transfer_time_s(report) > 0
+        assert model.transfer_energy_j(report) > 0
+
+
+class TestTrace:
+    def _record(self, name, category, time_s, **kwargs):
+        return OpRecord(name=name, category=category, time_s=time_s, energy_j=time_s, **kwargs)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        trace = ExecutionTrace(device="x", model_name="m")
+        trace.add(self._record("g", OpCategory.GEMM, 3.0))
+        trace.add(self._record("e", OpCategory.ENCODING, 1.0))
+        breakdown = trace.runtime_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown[OpCategory.GEMM] == pytest.approx(0.75)
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace(device="x", model_name="m")
+        assert trace.total_time_s == 0.0
+        assert all(v == 0.0 for v in trace.runtime_breakdown().values())
+        assert trace.average_utilization() == 0.0
+
+    def test_average_utilization_weighted_by_time(self):
+        trace = ExecutionTrace(device="x", model_name="m")
+        trace.add(self._record("a", OpCategory.GEMM, 1.0, utilization=1.0))
+        trace.add(self._record("b", OpCategory.GEMM, 3.0, utilization=0.5))
+        assert trace.average_utilization() == pytest.approx(0.625)

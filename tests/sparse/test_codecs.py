@@ -1,0 +1,84 @@
+"""Round-trip and storage-cost tests for the sparsity-format codecs."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.codecs import (
+    BitmapCodec,
+    COOCodec,
+    CSCCodec,
+    CSRCodec,
+    DenseCodec,
+    get_codec,
+)
+from repro.sparse.formats import Precision, SparsityFormat
+from repro.sparse.tensor import random_sparse_matrix
+
+ALL_CODECS = [DenseCodec(), COOCodec(), CSRCodec(), CSCCodec(), BitmapCodec()]
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.fmt.value)
+@pytest.mark.parametrize("sparsity", [0.0, 0.3, 0.7, 0.95, 1.0])
+def test_roundtrip(codec, sparsity, rng):
+    matrix = random_sparse_matrix((32, 48), sparsity, Precision.INT8, rng)
+    encoded = codec.encode(matrix, Precision.INT8)
+    decoded = codec.decode(encoded)
+    np.testing.assert_array_equal(decoded, matrix)
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.fmt.value)
+def test_roundtrip_non_square(codec, rng):
+    matrix = random_sparse_matrix((7, 129), 0.6, Precision.INT16, rng)
+    decoded = codec.decode(codec.encode(matrix, Precision.INT16))
+    np.testing.assert_array_equal(decoded, matrix)
+
+
+def test_nnz_matches(rng):
+    matrix = random_sparse_matrix((64, 64), 0.8, Precision.INT16, rng)
+    for codec in ALL_CODECS:
+        assert codec.encode(matrix, Precision.INT16).nnz == np.count_nonzero(matrix)
+
+
+def test_dense_codec_stores_every_element(rng):
+    matrix = random_sparse_matrix((16, 16), 0.5, Precision.INT16, rng)
+    encoded = DenseCodec().encode(matrix, Precision.INT16)
+    assert encoded.values.size == matrix.size
+    assert encoded.storage_bits == 16 * 16 * 16
+
+
+def test_bitmap_storage_bits(rng):
+    matrix = random_sparse_matrix((64, 64), 0.9, Precision.INT16, rng)
+    encoded = BitmapCodec().encode(matrix, Precision.INT16)
+    nnz = np.count_nonzero(matrix)
+    assert encoded.storage_bits == 64 * 64 + nnz * 16
+
+
+def test_coo_storage_bits(rng):
+    matrix = random_sparse_matrix((64, 64), 0.9, Precision.INT16, rng)
+    encoded = COOCodec().encode(matrix, Precision.INT16)
+    nnz = np.count_nonzero(matrix)
+    assert encoded.storage_bits == nnz * (16 + 6 + 6)
+
+
+def test_highly_sparse_bitmap_beats_dense(rng):
+    matrix = random_sparse_matrix((64, 64), 0.9, Precision.INT16, rng)
+    dense_bits = DenseCodec().encode(matrix, Precision.INT16).storage_bits
+    bitmap_bits = BitmapCodec().encode(matrix, Precision.INT16).storage_bits
+    assert bitmap_bits < dense_bits
+
+
+def test_codec_rejects_1d_input():
+    with pytest.raises(ValueError):
+        COOCodec().encode(np.array([1, 2, 3]), Precision.INT8)
+
+
+def test_get_codec_returns_matching_format():
+    for fmt in SparsityFormat:
+        assert get_codec(fmt).fmt is fmt
+
+
+def test_all_zero_matrix_roundtrip():
+    matrix = np.zeros((8, 8), dtype=np.int32)
+    for codec in ALL_CODECS:
+        decoded = codec.decode(codec.encode(matrix, Precision.INT4))
+        np.testing.assert_array_equal(decoded, matrix)

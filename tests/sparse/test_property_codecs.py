@@ -1,0 +1,60 @@
+"""Property-based tests (hypothesis) for the sparse codecs and selector."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.codecs import get_codec
+from repro.sparse.footprint import FootprintModel
+from repro.sparse.formats import Precision, SparsityFormat
+from repro.sparse.selector import FormatSelector
+from repro.sparse.tensor import sparsity_ratio
+
+_matrices = arrays(
+    dtype=np.int16,
+    shape=st.tuples(st.integers(1, 24), st.integers(1, 24)),
+    elements=st.integers(-128, 127),
+)
+
+
+@given(matrix=_matrices, fmt=st.sampled_from(list(SparsityFormat)))
+@settings(max_examples=60, deadline=None)
+def test_codec_roundtrip_is_lossless(matrix, fmt):
+    """Encoding then decoding any integer tile reproduces it exactly."""
+    codec = get_codec(fmt)
+    decoded = codec.decode(codec.encode(matrix, Precision.INT16))
+    np.testing.assert_array_equal(decoded, matrix)
+
+
+@given(matrix=_matrices)
+@settings(max_examples=60, deadline=None)
+def test_encoded_nnz_never_exceeds_size(matrix):
+    for fmt in SparsityFormat:
+        encoded = get_codec(fmt).encode(matrix, Precision.INT16)
+        assert 0 <= encoded.nnz <= matrix.size
+        assert encoded.nnz == np.count_nonzero(matrix)
+
+
+@given(matrix=_matrices)
+@settings(max_examples=40, deadline=None)
+def test_storage_bits_tracks_footprint_model(matrix):
+    """Exact codec storage matches the analytical model for the same tile."""
+    rows, cols = matrix.shape
+    model = FootprintModel(rows=rows, cols=cols, precision=Precision.INT16)
+    sparsity = sparsity_ratio(matrix)
+    for fmt in (SparsityFormat.NONE, SparsityFormat.COO, SparsityFormat.BITMAP):
+        encoded = get_codec(fmt).encode(matrix, Precision.INT16)
+        assert encoded.storage_bits == int(model.bits(fmt, sparsity))
+
+
+@given(
+    sparsity=st.floats(0.0, 1.0),
+    precision=st.sampled_from(list(Precision)),
+)
+@settings(max_examples=100, deadline=None)
+def test_selector_choice_is_minimal(sparsity, precision):
+    """The selector never picks a format with a larger footprint than another candidate."""
+    decision = FormatSelector().decide(sparsity, precision)
+    assert decision.bits == min(decision.bits_per_format.values())
+    assert decision.savings_over_none >= -1e-9

@@ -1,0 +1,61 @@
+"""Tests for optimal-format selection (paper Fig. 8 behaviour)."""
+
+from repro.sparse.footprint import FootprintModel
+from repro.sparse.formats import Precision, SparsityFormat
+from repro.sparse.selector import CANDIDATE_FORMATS, FormatSelector, optimal_format
+
+
+class TestFormatSelector:
+    def test_dense_wins_at_very_low_sparsity(self):
+        for precision in Precision:
+            assert optimal_format(0.01, precision) is SparsityFormat.NONE
+
+    def test_compressed_format_wins_at_high_sparsity(self):
+        for precision in Precision:
+            assert optimal_format(0.95, precision) is not SparsityFormat.NONE
+
+    def test_coo_wins_at_extreme_sparsity(self):
+        assert optimal_format(0.999, Precision.INT16) is SparsityFormat.COO
+
+    def test_bitmap_wins_in_mid_range_int16(self):
+        assert optimal_format(0.5, Precision.INT16) is SparsityFormat.BITMAP
+
+    def test_decision_reports_all_candidates(self):
+        decision = FormatSelector().decide(0.5, Precision.INT8)
+        assert set(decision.bits_per_format) == set(CANDIDATE_FORMATS)
+
+    def test_decision_is_actually_minimal(self):
+        decision = FormatSelector().decide(0.7, Precision.INT4)
+        assert decision.bits == min(decision.bits_per_format.values())
+
+    def test_savings_non_negative_for_chosen_format(self):
+        for sparsity in (0.05, 0.3, 0.6, 0.9, 0.99):
+            decision = FormatSelector().decide(sparsity, Precision.INT16)
+            assert decision.savings_over_none >= 0.0
+
+    def test_selection_matches_footprint_model(self):
+        selector = FormatSelector()
+        model = FootprintModel.for_precision(Precision.INT8)
+        for sparsity in (0.1, 0.4, 0.8, 0.99):
+            decision = selector.decide(sparsity, Precision.INT8)
+            best = min(CANDIDATE_FORMATS, key=lambda f: model.bits(f, sparsity))
+            assert decision.fmt is best
+
+    def test_transition_threshold_moves_right_at_lower_precision(self):
+        """The sparsity where compression first wins grows as precision drops."""
+        def first_win(precision):
+            for pct in range(1, 100):
+                if optimal_format(pct / 100.0, precision) is not SparsityFormat.NONE:
+                    return pct
+            return 100
+
+        assert first_win(Precision.INT16) <= first_win(Precision.INT8) <= first_win(Precision.INT4)
+
+    def test_sweep_length(self):
+        decisions = FormatSelector().sweep([0.1, 0.5, 0.9], Precision.INT16)
+        assert len(decisions) == 3
+
+    def test_custom_shape_selector(self):
+        selector = FormatSelector(shape=(8, 8))
+        decision = selector.decide(0.9, Precision.INT16)
+        assert decision.fmt in CANDIDATE_FORMATS

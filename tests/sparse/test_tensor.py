@@ -1,0 +1,63 @@
+"""Tests for the SparseTensor wrapper and random generation."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.formats import Precision, SparsityFormat
+from repro.sparse.tensor import SparseTensor, random_sparse_matrix, sparsity_ratio
+
+
+class TestSparsityRatio:
+    def test_dense(self):
+        assert sparsity_ratio(np.ones((4, 4))) == 0.0
+
+    def test_all_zero(self):
+        assert sparsity_ratio(np.zeros((4, 4))) == 1.0
+
+    def test_half(self):
+        matrix = np.array([[1, 0], [0, 2]])
+        assert sparsity_ratio(matrix) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert sparsity_ratio(np.zeros((0, 0))) == 0.0
+
+
+class TestRandomSparseMatrix:
+    @pytest.mark.parametrize("sparsity", [0.0, 0.25, 0.5, 0.9, 1.0])
+    def test_exact_sparsity(self, sparsity, rng):
+        matrix = random_sparse_matrix((50, 40), sparsity, rng=rng)
+        assert sparsity_ratio(matrix) == pytest.approx(sparsity, abs=1e-3)
+
+    def test_values_within_precision_range(self, rng):
+        matrix = random_sparse_matrix((32, 32), 0.5, Precision.INT4, rng)
+        nonzero = matrix[matrix != 0]
+        assert nonzero.max() <= Precision.INT4.max_value
+        assert nonzero.min() >= -Precision.INT4.max_value
+
+    def test_invalid_sparsity(self, rng):
+        with pytest.raises(ValueError):
+            random_sparse_matrix((4, 4), 1.5, rng=rng)
+
+
+class TestSparseTensor:
+    def test_metadata(self, rng):
+        tensor = SparseTensor.random((16, 16), 0.75, rng=rng)
+        assert tensor.shape == (16, 16)
+        assert tensor.sparsity == pytest.approx(0.75, abs=0.01)
+        assert tensor.nnz == 16 * 16 - int(round(0.75 * 256))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros(5))
+
+    def test_encode_decode_roundtrip(self, rng):
+        tensor = SparseTensor.random((32, 32), 0.6, Precision.INT8, rng)
+        for fmt in SparsityFormat:
+            restored = SparseTensor.decode(tensor.encode(fmt))
+            np.testing.assert_array_equal(restored.data, tensor.data)
+
+    def test_default_encode_uses_optimal_format(self, rng):
+        sparse = SparseTensor.random((64, 64), 0.95, Precision.INT16, rng)
+        dense = SparseTensor.random((64, 64), 0.0, Precision.INT16, rng)
+        assert sparse.encode().fmt is not SparsityFormat.NONE
+        assert dense.encode().fmt is SparsityFormat.NONE
