@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the reproduced rows/series so the numbers can be compared side by side
+with the paper.  Lives outside ``conftest.py`` so the module can be imported
+by name without clashing with the test-suite conftest when the whole repo is
+collected in one pytest run.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduced table under a recognisable header."""
+    print(f"\n===== {title} =====")
+    print(text)

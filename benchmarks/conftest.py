@@ -1,19 +1,15 @@
-"""Shared helpers for the benchmark harness.
+"""Benchmark-suite conftest: make ``bench_utils`` importable by name.
 
-Every benchmark regenerates one table or figure of the paper's evaluation and
-prints the reproduced rows/series so the numbers can be compared side by side
-with the paper (see EXPERIMENTS.md for the recorded comparison).
+The helper functions themselves live in :mod:`bench_utils` (not here) so the
+benchmark modules can import them without colliding with the test-suite
+conftest when tests and benchmarks are collected in one pytest run.
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
 
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-
-def emit(title: str, text: str) -> None:
-    """Print a reproduced table under a recognisable header."""
-    print(f"\n===== {title} =====")
-    print(text)
+_BENCH_DIR = str(Path(__file__).resolve().parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)

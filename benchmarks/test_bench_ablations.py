@@ -1,6 +1,6 @@
 """Benchmarks for the design-choice ablations called out in DESIGN.md."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import ablation_compression, ablation_noc
 

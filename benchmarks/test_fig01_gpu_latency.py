@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 1: GPU rendering latency of seven NeRF models."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig01_gpu_latency
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 3: GPU runtime breakdown per NeRF model."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig03_runtime_breakdown
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 4: NVDLA / TPU MAC utilisation scenarios."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig04_mac_utilization
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 6(b): multiplier grid and fetch size per mode."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig06_fetch_sizes
 

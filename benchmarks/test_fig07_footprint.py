@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 7: memory footprint vs sparsity per format."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig07_footprint
 from repro.sparse.formats import Precision, SparsityFormat

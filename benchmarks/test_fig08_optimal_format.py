@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 8: optimal sparsity format per ratio and mode."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig08_optimal_format
 from repro.sparse.formats import SparsityFormat

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 12(c): MAC unit area/power with optimised RT."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig12_reduction_tree
 

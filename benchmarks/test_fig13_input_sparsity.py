@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 13(a): input sparsity across rendering stages."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig13_input_sparsity
 

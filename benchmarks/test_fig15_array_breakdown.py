@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 15: compute-array area/power breakdowns."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig15_array_breakdown
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 16: accelerator-level area/power comparison."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig16_cost
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 17: FlexNeRFer vs NeuRex cost breakdowns."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig17_breakdown
 

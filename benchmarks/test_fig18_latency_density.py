@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 18: normalised latency and compute density."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig18_latency_density
 from repro.sparse.formats import Precision

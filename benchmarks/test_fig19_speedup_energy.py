@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 19: speedup / energy gain over the RTX 2080 Ti."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig19_speedup_energy
 from repro.sparse.formats import Precision

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 20(a): PSNR vs energy-efficiency per precision."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig20a_psnr
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Fig. 20(b): speedup vs batch size / scene complexity."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import fig20b_batch
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Table 2: qualitative flexible-NoC comparison."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import table02_related_work
 

@@ -1,6 +1,6 @@
 """Benchmark regenerating Table 3: MAC-array spec comparison."""
 
-from conftest import emit, run_once
+from bench_utils import emit, run_once
 
 from repro.experiments import table03_mac_array
 from repro.sparse.formats import Precision

@@ -1,10 +1,11 @@
 """Precision / pruning design-space sweep for one NeRF model (paper Fig. 19).
 
-Sweeps FlexNeRFer's precision modes (INT16/8/4) and structured-pruning ratios
-for a chosen NeRF model and prints the speedup and energy-efficiency gain over
-the RTX 2080 Ti, alongside the flat NeuRex baseline.
+Declares one SweepEngine sweep over FlexNeRFer's precision modes (INT16/8/4)
+and structured-pruning ratios for a chosen NeRF model and prints the speedup
+and energy-efficiency gain over the RTX 2080 Ti, alongside the flat NeuRex
+baseline (which the engine's capability-aware cache simulates exactly once).
 
-Run with:  python examples/precision_pruning_sweep.py [model]
+Run with:  PYTHONPATH=src python examples/precision_pruning_sweep.py [model]
 (model defaults to instant-ngp; any of: nerf, kilonerf, nsvf, mip-nerf,
 instant-ngp, ibrnet, tensorf)
 """
@@ -13,34 +14,41 @@ from __future__ import annotations
 
 import sys
 
-from repro import FlexNeRFer, Precision
-from repro.baselines import GPUModel, NeuRex
-from repro.nerf.models import FrameConfig, get_model
+from repro import Precision, SweepEngine, SweepSpec
 
 PRUNING_RATIOS = (0.0, 0.3, 0.5, 0.7, 0.9)
+PRECISIONS = (Precision.INT16, Precision.INT8, Precision.INT4)
 
 
 def main(model_name: str = "instant-ngp") -> None:
-    workload = get_model(model_name).build_workload(FrameConfig())
-    gpu_report = GPUModel().render_frame(workload)
-    neurex_report = NeuRex().render_frame(workload)
-    accelerator = FlexNeRFer()
+    engine = SweepEngine()
+    gpu_report = engine.frame_report("rtx-2080-ti", model_name)
+    neurex_report = engine.frame_report("neurex", model_name)
 
     print(f"Model: {model_name}   GPU frame time: {gpu_report.frame_time_ms:.1f} ms")
     print(f"NeuRex: {neurex_report.frame_time_ms:.1f} ms "
           f"({gpu_report.latency_s / neurex_report.latency_s:.1f}x speedup, "
           f"flat across pruning/precision)")
+
+    rows = engine.run(
+        SweepSpec(
+            devices=("flexnerfer",),
+            models=(model_name,),
+            precisions=PRECISIONS,
+            pruning_ratios=PRUNING_RATIOS,
+        )
+    )
     print(f"\n{'precision':<10} {'pruning %':>10} {'latency [ms]':>13} {'speedup':>9} {'energy gain':>12}")
-    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
-        for pruning in PRUNING_RATIOS:
-            report = accelerator.render_frame(
-                workload, precision=precision, pruning_ratio=pruning
-            )
-            print(
-                f"{precision.name:<10} {pruning * 100:>10.0f} {report.frame_time_ms:>13.2f} "
-                f"{gpu_report.latency_s / report.latency_s:>9.1f} "
-                f"{gpu_report.energy_j / report.energy_j:>12.1f}"
-            )
+    for row in rows:
+        print(
+            f"{row.precision.name:<10} {row.pruning_ratio * 100:>10.0f} "
+            f"{row.report.frame_time_ms:>13.2f} "
+            f"{gpu_report.latency_s / row.latency_s:>9.1f} "
+            f"{gpu_report.energy_j / row.energy_j:>12.1f}"
+        )
+    stats = engine.stats
+    print(f"\n[{stats.render_calls} frame simulations served "
+          f"{stats.report_hits + stats.report_misses} requests]")
 
 
 if __name__ == "__main__":

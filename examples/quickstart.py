@@ -1,46 +1,52 @@
 """Quickstart: estimate FlexNeRFer's cost and per-model rendering performance.
 
-Builds the accelerator model, prints its area/power (paper Fig. 16), then
-renders one frame of every NeRF model at INT16 and compares the latency and
-energy against an RTX 2080 Ti and the NeuRex accelerator.
+Pulls the accelerator from the unified device registry, prints its area/power
+(paper Fig. 16), then declares one sweep rendering every NeRF model on the
+RTX 2080 Ti, NeuRex and FlexNeRFer at INT16 and compares latency and energy.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import FlexNeRFer, Precision
-from repro.baselines import GPUModel, NeuRex
-from repro.nerf.models import FrameConfig, all_models
+from repro import Precision, SweepEngine, SweepSpec, get_device
+from repro.nerf.models import MODEL_REGISTRY, FrameConfig
+from repro.sim.sweep import index_rows
 
 
 def main() -> None:
-    accelerator = FlexNeRFer()
-    gpu = GPUModel()
-    neurex = NeuRex()
+    accelerator = get_device("flexnerfer")
+    print(f"FlexNeRFer: {accelerator.area_mm2():.1f} mm^2 in 28nm")
+    for mode, watts in accelerator.power_profile().items():
+        print(f"  power @ {mode}: {watts:.1f} W")
 
-    area = accelerator.area()
-    print(f"FlexNeRFer: {area.total_mm2:.1f} mm^2 in 28nm")
-    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
-        print(f"  power @ {precision.name}: {accelerator.power(precision).total_w:.1f} W")
-
+    engine = SweepEngine()
     config = FrameConfig(image_width=800, image_height=800, batch_size=4096)
+    rows = engine.run(
+        SweepSpec(
+            devices=("rtx-2080-ti", "neurex", "flexnerfer"),
+            models=tuple(MODEL_REGISTRY),
+            precisions=(Precision.INT16,),
+            base_config=config,
+        )
+    )
+    by_point = index_rows(rows, "device", "model")
+
     header = (
         f"{'model':<12} {'GPU [ms]':>10} {'NeuRex [ms]':>12} {'FlexNeRFer [ms]':>16} "
         f"{'speedup':>8} {'energy gain':>12}"
     )
     print("\nPer-frame comparison (INT16, no pruning):")
     print(header)
-    for model in all_models():
-        workload = model.build_workload(config)
-        gpu_report = gpu.render_frame(workload)
-        neurex_report = neurex.render_frame(workload)
-        flex_report = accelerator.render_frame(workload, precision=Precision.INT16)
+    for model in MODEL_REGISTRY:
+        gpu = by_point[("RTX 2080 Ti", model)]
+        neurex = by_point[("NeuRex", model)]
+        flex = by_point[("FlexNeRFer", model)]
         print(
-            f"{model.name:<12} {gpu_report.frame_time_ms:>10.1f} "
-            f"{neurex_report.frame_time_ms:>12.1f} {flex_report.frame_time_ms:>16.1f} "
-            f"{gpu_report.latency_s / flex_report.latency_s:>8.1f} "
-            f"{gpu_report.energy_j / flex_report.energy_j:>12.1f}"
+            f"{model:<12} {gpu.report.frame_time_ms:>10.1f} "
+            f"{neurex.report.frame_time_ms:>12.1f} {flex.report.frame_time_ms:>16.1f} "
+            f"{gpu.latency_s / flex.latency_s:>8.1f} "
+            f"{gpu.energy_j / flex.energy_j:>12.1f}"
         )
 
 

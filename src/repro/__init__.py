@@ -12,19 +12,31 @@ Public API overview
 * :mod:`repro.sparse`, :mod:`repro.quant`, :mod:`repro.noc`, :mod:`repro.hw`,
   :mod:`repro.sim` -- the substrates (sparse formats, quantization, NoCs,
   hardware cost models, performance simulation).
+* :mod:`repro.core.device` -- the unified :class:`Device` protocol and the
+  ``DEVICE_REGISTRY`` covering FlexNeRFer and every baseline device.
+* :mod:`repro.sim.sweep` -- the cached :class:`SweepEngine` that runs
+  device x model x precision x pruning x batch sweeps for the experiments.
 * :mod:`repro.experiments` -- one module per paper table/figure.
 """
 
 from repro.core import FlexNeRFer, FlexNeRFerConfig, FrameReport, MACArray
+from repro.core.device import DEVICE_REGISTRY, Device, get_device
+from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 from repro.sparse.formats import Precision, SparsityFormat
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FlexNeRFer",
     "FlexNeRFerConfig",
     "FrameReport",
     "MACArray",
+    "Device",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "SweepEngine",
+    "SweepSpec",
+    "get_default_engine",
     "Precision",
     "SparsityFormat",
     "__version__",

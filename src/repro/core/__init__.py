@@ -27,8 +27,32 @@ from repro.core.compression import SparsityAwareCompressor, SparsityRatioCalcula
 from repro.core.encoding_unit import HashEncodingEngine, NeRFEncodingUnit, PositionalEncodingEngine
 from repro.core.controller import DMAEngine, RISCVController
 from repro.core.accelerator import FlexNeRFer, FrameReport
+from repro.core.device import (
+    DEVICE_REGISTRY,
+    Device,
+    FlexNeRFerDevice,
+    GPUDevice,
+    NeuRexDevice,
+    NVDLADevice,
+    TPUDevice,
+    UnsupportedKnobError,
+    available_devices,
+    get_device,
+    register_device,
+)
 
 __all__ = [
+    "Device",
+    "DEVICE_REGISTRY",
+    "FlexNeRFerDevice",
+    "NeuRexDevice",
+    "GPUDevice",
+    "NVDLADevice",
+    "TPUDevice",
+    "UnsupportedKnobError",
+    "available_devices",
+    "get_device",
+    "register_device",
     "FlexNeRFerConfig",
     "BitScalableMACUnit",
     "MACArray",

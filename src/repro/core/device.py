@@ -1,0 +1,443 @@
+"""Unified device protocol and registry for every simulated device.
+
+The evaluation compares one accelerator against five baseline device
+families, and historically every experiment module hand-instantiated the
+models it needed and called their (slightly different) ``render_frame``
+signatures.  This module defines the one interface they all share:
+
+* :class:`Device` -- abstract base with a uniform
+  ``render_frame(workload, *, precision=None, pruning_ratio=0.0)`` plus
+  capability flags (``supports_precision`` / ``supports_pruning`` /
+  ``supports_batching``) that tell callers -- most importantly the
+  :class:`repro.sim.sweep.SweepEngine` -- which knobs actually change the
+  device's behaviour;
+* adapter subclasses wrapping :class:`repro.core.accelerator.FlexNeRFer`,
+  :class:`repro.baselines.neurex.NeuRex`, the four GPU specs of
+  :mod:`repro.baselines.gpu`, and frame-level analytical models built on the
+  NVDLA / TPU utilisation models of Fig. 4;
+* :data:`DEVICE_REGISTRY` -- name -> factory mapping, so new devices are one
+  registry entry away from every sweep and experiment.
+
+Unsupported knobs are handled per device, as flagged: the GPUs *raise*
+:class:`UnsupportedKnobError` when asked for a precision mode or pruning
+(nothing in their roofline model could honour it), while NeuRex silently
+no-ops (it always computes densely at INT16 -- exactly the flat bars of
+Fig. 19).  Baseline imports happen lazily inside the adapters so that
+``repro.core`` and ``repro.baselines`` stay free of import cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+from repro.sparse.formats import Precision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.accelerator import FrameReport
+    from repro.hw.cost import AreaReport, PowerReport
+    from repro.nerf.workload import Workload
+
+
+class UnsupportedKnobError(ValueError):
+    """A device was asked for a knob (precision / pruning) it cannot honour."""
+
+
+#: Precision modes a precision-scalable device is swept over by default.
+PRECISION_MODES = (Precision.INT16, Precision.INT8, Precision.INT4)
+
+
+class Device(abc.ABC):
+    """Uniform frame-level interface over every simulated device.
+
+    Capability flags describe which sweep knobs change the device's
+    behaviour; the sweep engine uses them (via :meth:`effective_precision` /
+    :meth:`effective_pruning`) to collapse redundant sweep points onto one
+    cached simulation.
+    """
+
+    #: Display name (matches the paper's figures, e.g. ``"RTX 2080 Ti"``).
+    name: str = "device"
+    #: Whether ``precision`` changes the device's latency / energy.
+    supports_precision: ClassVar[bool] = False
+    #: Whether structured pruning changes the device's latency / energy.
+    supports_pruning: ClassVar[bool] = False
+    #: Whether the device benefits from sweeping the ray batch size.
+    supports_batching: ClassVar[bool] = True
+    #: The precision the device natively computes at (None -> FP32).
+    native_precision: ClassVar[Precision | None] = None
+
+    @abc.abstractmethod
+    def render_frame(
+        self,
+        workload: "Workload",
+        *,
+        precision: Precision | None = None,
+        pruning_ratio: float = 0.0,
+    ) -> "FrameReport":
+        """Estimate latency / energy of rendering one frame of ``workload``."""
+
+    # -- capability-aware knob normalisation ----------------------------------
+
+    def effective_precision(self, precision: Precision | None) -> Precision | None:
+        """The precision the device will actually compute at.
+
+        Devices without precision support always land on their native
+        precision, which lets callers cache one simulation for every
+        requested mode.
+        """
+        if self.supports_precision:
+            return precision
+        return self.native_precision
+
+    def effective_pruning(self, pruning_ratio: float) -> float:
+        """The pruning ratio that actually reaches the device's datapath."""
+        return pruning_ratio if self.supports_pruning else 0.0
+
+    # -- hardware cost --------------------------------------------------------
+
+    def area_mm2(self) -> float:
+        """Chip / board area in mm^2 (spec sheet or modelled)."""
+        raise NotImplementedError(f"{self.name} has no area model")
+
+    def power_w(self, precision: Precision | None = None) -> float:
+        """Power draw in watts, optionally at a specific precision mode."""
+        raise NotImplementedError(f"{self.name} has no power model")
+
+    def power_profile(self) -> dict[str, float]:
+        """Labelled power figures for cost tables (Fig. 16)."""
+        return {"typical": self.power_w()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# -- FlexNeRFer ---------------------------------------------------------------
+
+
+class FlexNeRFerDevice(Device):
+    """The paper's accelerator: precision-scalable and sparsity-aware."""
+
+    supports_precision = True
+    supports_pruning = True
+    supports_batching = True
+    native_precision = Precision.INT16
+
+    def __init__(self, config=None) -> None:
+        from repro.core.accelerator import FlexNeRFer
+
+        self.impl = FlexNeRFer(config)
+        self.name = self.impl.name
+
+    def effective_precision(self, precision: Precision | None) -> Precision | None:
+        return precision or self.impl.config.default_precision
+
+    def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        return self.impl.render_frame(
+            workload, precision=precision, pruning_ratio=pruning_ratio
+        )
+
+    def area_mm2(self) -> float:
+        return self.impl.area().total_mm2
+
+    def power_w(self, precision: Precision | None = None) -> float:
+        return self.impl.power(precision).total_w
+
+    def power_profile(self) -> dict[str, float]:
+        return {p.name: self.power_w(p) for p in PRECISION_MODES}
+
+    def area_report(self) -> "AreaReport":
+        return self.impl.area()
+
+    def power_report(self, precision: Precision | None = None) -> "PowerReport":
+        return self.impl.power(precision)
+
+
+# -- NeuRex -------------------------------------------------------------------
+
+
+class NeuRexDevice(Device):
+    """NeuRex (ISCA 2023): dense INT16 only, so both knobs no-op.
+
+    The flags are False but the knobs are *accepted and ignored* rather than
+    raising: sweeping pruning over NeuRex and seeing flat gains is exactly
+    the comparison Fig. 19 makes.
+    """
+
+    supports_precision = False
+    supports_pruning = False
+    supports_batching = True
+    native_precision = Precision.INT16
+
+    def __init__(self, config=None) -> None:
+        from repro.baselines.neurex import NeuRex
+
+        self.impl = NeuRex(config)
+        self.name = self.impl.name
+
+    def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        return self.impl.render_frame(
+            workload, precision=precision, pruning_ratio=pruning_ratio
+        )
+
+    def area_mm2(self) -> float:
+        return self.impl.area().total_mm2
+
+    def power_w(self, precision: Precision | None = None) -> float:
+        return self.impl.power().total_w
+
+    def power_profile(self) -> dict[str, float]:
+        return {Precision.INT16.name: self.power_w()}
+
+    def area_report(self) -> "AreaReport":
+        return self.impl.area()
+
+    def power_report(self, precision: Precision | None = None) -> "PowerReport":
+        return self.impl.power()
+
+
+# -- GPUs ---------------------------------------------------------------------
+
+
+class GPUDevice(Device):
+    """Roofline GPU adapter.  FP32 only; unsupported knobs raise."""
+
+    supports_precision = False
+    supports_pruning = False
+    supports_batching = True
+    native_precision = None
+
+    def __init__(self, spec=None) -> None:
+        from repro.baselines.gpu import GPUModel, RTX_2080_TI
+
+        self.impl = GPUModel(spec or RTX_2080_TI)
+        self.spec = self.impl.spec
+        self.name = self.spec.name
+
+    def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        if precision is not None:
+            raise UnsupportedKnobError(
+                f"{self.name} computes at FP32 only (requested {precision.name})"
+            )
+        if pruning_ratio != 0.0:
+            raise UnsupportedKnobError(
+                f"{self.name} gains nothing from structured pruning "
+                f"(requested ratio {pruning_ratio})"
+            )
+        return self.impl.render_frame(workload)
+
+    def area_mm2(self) -> float:
+        return self.spec.area_mm2
+
+    def power_w(self, precision: Precision | None = None) -> float:
+        return self.spec.typical_power_w
+
+
+# -- NVDLA / TPU --------------------------------------------------------------
+
+
+class _UtilizationFrameDevice(Device):
+    """Frame-level analytical model on top of a MAC-utilisation model.
+
+    The paper analyses NVDLA and the TPU only through their MAC utilisation
+    (Fig. 4); to make them first-class sweep citizens we extend that analysis
+    to a full frame: every GEMM runs at ``peak * structural utilisation``
+    (zeros cannot be skipped, so sparsity never helps), and encoding / misc
+    work falls back to a narrow vector datapath, since neither device has a
+    NeRF encoding engine.
+    """
+
+    supports_precision = False
+    supports_pruning = False
+    supports_batching = False
+    native_precision = Precision.INT8
+
+    #: Fraction of peak throughput available to non-GEMM (fallback) work.
+    FALLBACK_THROUGHPUT_FRACTION = 0.02
+    #: Fraction of peak power drawn while stalled on memory.
+    IDLE_POWER_FRACTION = 0.3
+
+    def __init__(self, num_macs: int, frequency_hz: float, typical_power_w: float):
+        from repro.hw.dram import LPDDR4_XAVIER
+
+        self.num_macs = num_macs
+        self.frequency_hz = frequency_hz
+        self.typical_power_w = typical_power_w
+        self.dram = LPDDR4_XAVIER
+
+    def gemm_utilization(self, op) -> float:
+        """Structural MAC utilisation for one GEMM (zeros still scheduled)."""
+        raise NotImplementedError
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return self.num_macs * self.frequency_hz
+
+    def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        from repro.core.accelerator import FrameReport
+        from repro.nerf.workload import EncodingOp, GEMMOp, MiscOp, OpCategory
+        from repro.sim.trace import ExecutionTrace, OpRecord
+
+        if precision is not None and precision is not self.native_precision:
+            raise UnsupportedKnobError(
+                f"{self.name} computes at {self.native_precision.name} only"
+            )
+        if pruning_ratio != 0.0:
+            raise UnsupportedKnobError(
+                f"{self.name} schedules zeros like any other operand and "
+                f"cannot exploit pruning (requested ratio {pruning_ratio})"
+            )
+        fallback = self.peak_macs_per_s * 2.0 * self.FALLBACK_THROUGHPUT_FRACTION
+        trace = ExecutionTrace(device=self.name, model_name=workload.model_name)
+        for op in workload.ops:
+            if isinstance(op, GEMMOp):
+                utilization = self.gemm_utilization(op)
+                compute_time = op.macs / (self.peak_macs_per_s * utilization)
+                dram_bytes = (
+                    (op.m * op.k + op.k * op.n + op.m * op.n) * 1.0 * op.count
+                )
+                category = OpCategory.GEMM
+            elif isinstance(op, EncodingOp):
+                utilization = self.FALLBACK_THROUGHPUT_FRACTION
+                compute_time = op.flops / fallback
+                dram_bytes = op.memory_bytes
+                category = OpCategory.ENCODING
+            elif isinstance(op, MiscOp):
+                utilization = self.FALLBACK_THROUGHPUT_FRACTION
+                compute_time = op.flops * op.count / fallback
+                dram_bytes = op.memory_bytes * op.count
+                category = OpCategory.OTHER
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown op type {type(op)!r}")
+            memory_time = self.dram.transfer_time_s(dram_bytes)
+            time_s = max(compute_time, memory_time)
+            idle = self.IDLE_POWER_FRACTION * self.typical_power_w
+            power = idle + (self.typical_power_w - idle) * min(utilization, 1.0)
+            trace.add(
+                OpRecord(
+                    name=op.name,
+                    category=category,
+                    time_s=time_s,
+                    energy_j=power * time_s + self.dram.transfer_energy_j(dram_bytes),
+                    compute_time_s=compute_time,
+                    dram_time_s=max(0.0, time_s - compute_time),
+                    dram_bytes=dram_bytes,
+                    utilization=utilization,
+                )
+            )
+        return FrameReport(
+            device=self.name,
+            model_name=workload.model_name,
+            latency_s=trace.total_time_s,
+            energy_j=trace.total_energy_j,
+            trace=trace,
+            precision=self.native_precision,
+        )
+
+    def power_w(self, precision: Precision | None = None) -> float:
+        return self.typical_power_w
+
+
+class NVDLADevice(_UtilizationFrameDevice):
+    """NVDLA-style channel-parallel engine at full configuration (2048 MACs)."""
+
+    name = "NVDLA"
+
+    def __init__(
+        self,
+        atomic_input_channels: int = 64,
+        atomic_output_kernels: int = 32,
+        frequency_hz: float = 1.0e9,
+        typical_power_w: float = 2.5,
+    ) -> None:
+        from repro.baselines.nvdla import NVDLAModel
+
+        self.impl = NVDLAModel(
+            atomic_input_channels=atomic_input_channels,
+            atomic_output_kernels=atomic_output_kernels,
+        )
+        super().__init__(
+            num_macs=self.impl.num_macs,
+            frequency_hz=frequency_hz,
+            typical_power_w=typical_power_w,
+        )
+
+    def gemm_utilization(self, op) -> float:
+        return self.impl.gemm_utilization(op.m, op.n, op.k)
+
+
+class TPUDevice(_UtilizationFrameDevice):
+    """Edge-TPU-style weight-stationary systolic array (64x64 grid)."""
+
+    name = "TPU"
+
+    def __init__(
+        self,
+        rows: int = 64,
+        cols: int = 64,
+        frequency_hz: float = 700e6,
+        typical_power_w: float = 2.0,
+    ) -> None:
+        from repro.baselines.tpu import TPUModel
+
+        self.impl = TPUModel(rows=rows, cols=cols)
+        super().__init__(
+            num_macs=self.impl.num_macs,
+            frequency_hz=frequency_hz,
+            typical_power_w=typical_power_w,
+        )
+
+    def gemm_utilization(self, op) -> float:
+        # density=1.0: the dense schedule determines the cycle count.
+        return self.impl.gemm_utilization(op.m, op.n, op.k, density=1.0)
+
+
+# -- registry -----------------------------------------------------------------
+
+DeviceFactory = Callable[[], Device]
+
+
+def _gpu_factory(spec_name: str) -> DeviceFactory:
+    def factory() -> Device:
+        from repro.baselines import gpu
+
+        return GPUDevice(getattr(gpu, spec_name))
+
+    return factory
+
+
+#: Registry key -> factory for every device of the evaluation.
+DEVICE_REGISTRY: dict[str, DeviceFactory] = {
+    "flexnerfer": FlexNeRFerDevice,
+    "neurex": NeuRexDevice,
+    "rtx-2080-ti": _gpu_factory("RTX_2080_TI"),
+    "rtx-4090": _gpu_factory("RTX_4090"),
+    "jetson-nano": _gpu_factory("JETSON_NANO"),
+    "xavier-nx": _gpu_factory("XAVIER_NX"),
+    "nvdla": NVDLADevice,
+    "tpu": TPUDevice,
+}
+
+
+def register_device(name: str, factory: DeviceFactory, *, overwrite: bool = False) -> None:
+    """Register a new device factory under ``name`` (lower-case slug)."""
+    key = name.lower()
+    if key in DEVICE_REGISTRY and not overwrite:
+        raise ValueError(f"device '{key}' is already registered")
+    DEVICE_REGISTRY[key] = factory
+
+
+def get_device(name: str) -> Device:
+    """Instantiate a fresh device by registry name."""
+    try:
+        factory = DEVICE_REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown device '{name}'; available: {sorted(DEVICE_REGISTRY)}"
+        ) from exc
+    return factory()
+
+
+def available_devices() -> tuple[str, ...]:
+    """Registry names of every known device."""
+    return tuple(DEVICE_REGISTRY)

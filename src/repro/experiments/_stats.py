@@ -1,0 +1,29 @@
+"""Shared statistics helpers for the experiment modules.
+
+Every speedup / energy-gain figure in the paper aggregates per-model ratios
+with a geometric mean; the one implementation lives in
+:mod:`repro.sim.sweep` and is re-exported here together with the ratio
+helpers the experiment modules share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.sweep import SweepResult, aggregate, geomean, index_rows
+
+__all__ = ["geomean", "aggregate", "index_rows", "gain_geomean"]
+
+
+def gain_geomean(
+    baseline: Sequence[SweepResult],
+    rows: Sequence[SweepResult],
+    value: str = "latency_s",
+) -> float:
+    """Geomean over models of ``baseline value / row value``.
+
+    ``baseline`` and ``rows`` are matched by model name; every model in
+    ``rows`` must have a baseline row.
+    """
+    base = {row.model: getattr(row, value) for row in baseline}
+    return geomean(base[row.model] / getattr(row, value) for row in rows)

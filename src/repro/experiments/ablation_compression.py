@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import FlexNeRFerConfig
-from repro.nerf.models import FrameConfig, get_model
+from repro.nerf.models import FrameConfig
 from repro.sim.memory import MemoryTrafficModel
+from repro.sim.sweep import SweepEngine, get_default_engine
 from repro.sim.tiling import tile_counts
 from repro.sim.array_config import ArrayConfig, MappingFlexibility
 from repro.sparse.formats import Precision
@@ -41,8 +42,10 @@ def run(
     pruning_ratio: float = 0.5,
     precision: Precision = Precision.INT16,
     config: FrameConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[CompressionAblationRow]:
     """Measure per-model weight/activation DRAM traffic with both settings."""
+    engine = engine or get_default_engine()
     config = config or FrameConfig()
     accel_config = FlexNeRFerConfig()
     array = ArrayConfig(
@@ -59,8 +62,7 @@ def run(
     rows = []
     for name in models:
         workload = (
-            get_model(name)
-            .build_workload(config)
+            engine.workload(name, config)
             .with_precision(precision)
             .pruned(pruning_ratio)
         )

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.gpu import GPUModel, GPUSpec, RTX_2080_TI
-from repro.nerf.models import FrameConfig, all_models
+from repro.nerf.models import MODEL_REGISTRY, FrameConfig
+from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 
 #: Frame-time thresholds from the paper (Section 1).
 VR_FRAME_THRESHOLD_MS = 16.8
@@ -28,20 +28,26 @@ class LatencyRow:
 
 
 def run(
-    spec: GPUSpec = RTX_2080_TI, config: FrameConfig | None = None
+    device: str = "rtx-2080-ti",
+    config: FrameConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[LatencyRow]:
-    """Render one frame of every model on the GPU model and report latency."""
-    config = config or FrameConfig()
-    gpu = GPUModel(spec)
+    """Render one frame of every model on the GPU device and report latency."""
+    engine = engine or get_default_engine()
+    spec = SweepSpec(
+        devices=(device,),
+        models=tuple(MODEL_REGISTRY),
+        base_config=config or FrameConfig(),
+    )
     rows = []
-    for model in all_models():
-        report = gpu.render_frame(model.build_workload(config))
+    for result in engine.run(spec):
+        latency_ms = result.report.frame_time_ms
         rows.append(
             LatencyRow(
-                model=model.name,
-                latency_ms=report.frame_time_ms,
-                exceeds_vr_threshold=report.frame_time_ms > VR_FRAME_THRESHOLD_MS,
-                exceeds_game_threshold=report.frame_time_ms > GAME_FRAME_THRESHOLD_MS,
+                model=result.model,
+                latency_ms=latency_ms,
+                exceeds_vr_threshold=latency_ms > VR_FRAME_THRESHOLD_MS,
+                exceeds_game_threshold=latency_ms > GAME_FRAME_THRESHOLD_MS,
             )
         )
     return rows

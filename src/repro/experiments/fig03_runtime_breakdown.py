@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.gpu import GPUModel, RTX_2080_TI
-from repro.nerf.models import FrameConfig, all_models
+from repro.nerf.models import MODEL_REGISTRY, FrameConfig
 from repro.nerf.workload import OpCategory
+from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 
 
 @dataclass(frozen=True)
@@ -28,17 +28,24 @@ class BreakdownRow:
         return self.gemm_fraction + self.encoding_fraction + self.other_fraction
 
 
-def run(config: FrameConfig | None = None) -> list[BreakdownRow]:
+def run(
+    config: FrameConfig | None = None,
+    device: str = "rtx-2080-ti",
+    engine: SweepEngine | None = None,
+) -> list[BreakdownRow]:
     """Compute the per-category runtime fractions for every model."""
-    config = config or FrameConfig()
-    gpu = GPUModel(RTX_2080_TI)
+    engine = engine or get_default_engine()
+    spec = SweepSpec(
+        devices=(device,),
+        models=tuple(MODEL_REGISTRY),
+        base_config=config or FrameConfig(),
+    )
     rows = []
-    for model in all_models():
-        report = gpu.render_frame(model.build_workload(config))
-        breakdown = report.trace.runtime_breakdown()
+    for result in engine.run(spec):
+        breakdown = result.report.trace.runtime_breakdown()
         rows.append(
             BreakdownRow(
-                model=model.name,
+                model=result.model,
                 gemm_fraction=breakdown[OpCategory.GEMM],
                 encoding_fraction=breakdown[OpCategory.ENCODING],
                 other_fraction=breakdown[OpCategory.OTHER],

@@ -1,21 +1,23 @@
 """Fig. 16: accelerator-level area / power vs. GPUs and NeuRex.
 
 Both NeuRex and FlexNeRFer fit the on-device constraints (< 100 mm^2 and
-< 10 W); the GPUs do not.
+< 10 W); the GPUs do not.  Every device is pulled from the unified
+:data:`repro.core.device.DEVICE_REGISTRY` and reports its cost through the
+:class:`repro.core.device.Device` protocol.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.gpu import RTX_2080_TI, XAVIER_NX, GPUSpec
-from repro.baselines.neurex import NeuRex
-from repro.core.accelerator import FlexNeRFer
-from repro.sparse.formats import Precision
+from repro.core.device import get_device
 
 #: On-device integration constraints quoted in the paper.
 AREA_CONSTRAINT_MM2 = 100.0
 POWER_CONSTRAINT_W = 10.0
+
+#: Registry names of the devices compared in the figure.
+DEFAULT_DEVICES = ("rtx-2080-ti", "xavier-nx", "neurex", "flexnerfer")
 
 
 @dataclass(frozen=True)
@@ -29,45 +31,22 @@ class DeviceCostRow:
     meets_power_constraint: bool
 
 
-def run(
-    gpus: tuple[GPUSpec, ...] = (RTX_2080_TI, XAVIER_NX),
-) -> list[DeviceCostRow]:
-    """Collect area / power for the GPUs, NeuRex and FlexNeRFer."""
+def run(devices: tuple[str, ...] = DEFAULT_DEVICES) -> list[DeviceCostRow]:
+    """Collect area / power for every requested registry device."""
     rows = []
-    for spec in gpus:
+    for name in devices:
+        device = get_device(name)
+        area = device.area_mm2()
+        power = device.power_profile()
         rows.append(
             DeviceCostRow(
-                device=spec.name,
-                area_mm2=spec.area_mm2,
-                power_w={"typical": spec.typical_power_w},
-                meets_area_constraint=spec.area_mm2 < AREA_CONSTRAINT_MM2,
-                meets_power_constraint=spec.typical_power_w < POWER_CONSTRAINT_W,
+                device=device.name,
+                area_mm2=area,
+                power_w=power,
+                meets_area_constraint=area < AREA_CONSTRAINT_MM2,
+                meets_power_constraint=max(power.values()) < POWER_CONSTRAINT_W,
             )
         )
-    neurex = NeuRex()
-    rows.append(
-        DeviceCostRow(
-            device="NeuRex",
-            area_mm2=neurex.area().total_mm2,
-            power_w={"INT16": neurex.power().total_w},
-            meets_area_constraint=neurex.area().total_mm2 < AREA_CONSTRAINT_MM2,
-            meets_power_constraint=neurex.power().total_w < POWER_CONSTRAINT_W,
-        )
-    )
-    flex = FlexNeRFer()
-    flex_power = {
-        precision.name: flex.power(precision).total_w
-        for precision in (Precision.INT16, Precision.INT8, Precision.INT4)
-    }
-    rows.append(
-        DeviceCostRow(
-            device="FlexNeRFer",
-            area_mm2=flex.area().total_mm2,
-            power_w=flex_power,
-            meets_area_constraint=flex.area().total_mm2 < AREA_CONSTRAINT_MM2,
-            meets_power_constraint=max(flex_power.values()) < POWER_CONSTRAINT_W,
-        )
-    )
     return rows
 
 

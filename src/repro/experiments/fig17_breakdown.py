@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.neurex import NeuRex
-from repro.core.accelerator import FlexNeRFer
+from repro.core.device import get_device
 from repro.sparse.formats import Precision
 
 
@@ -60,12 +59,12 @@ class Fig17Result:
 
 def run(precision: Precision = Precision.INT16) -> Fig17Result:
     """Compute both breakdowns at ``precision`` (the paper reports INT16)."""
-    flex = FlexNeRFer()
-    neurex = NeuRex()
-    flex_area = flex.area()
-    flex_power = flex.power(precision)
-    neurex_area = neurex.area()
-    neurex_power = neurex.power()
+    flex = get_device("flexnerfer")
+    neurex = get_device("neurex")
+    flex_area = flex.area_report()
+    flex_power = flex.power_report(precision)
+    neurex_area = neurex.area_report()
+    neurex_power = neurex.power_report()
     return Fig17Result(
         flexnerfer=AcceleratorBreakdown(
             device="FlexNeRFer",

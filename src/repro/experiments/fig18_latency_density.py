@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.neurex import NeuRex
-from repro.core.accelerator import FlexNeRFer
-from repro.nerf.models import FrameConfig, get_model
+from repro.nerf.models import FrameConfig
+from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 from repro.sparse.formats import Precision
+
+#: FlexNeRFer precision modes shown in the figure.
+PRECISIONS = (Precision.INT16, Precision.INT8, Precision.INT4)
 
 
 @dataclass(frozen=True)
@@ -34,52 +36,50 @@ class LatencyDensityRow:
         return self.format_conversion_time_s / self.latency_s if self.latency_s else 0.0
 
 
+def _row(result, normalized: float, area_mm2: float, density: float) -> LatencyDensityRow:
+    components = result.report.trace.time_by_component()
+    return LatencyDensityRow(
+        device=result.device,
+        precision=result.effective_precision,
+        latency_s=result.latency_s,
+        normalized_latency=normalized,
+        compute_time_s=components["compute"],
+        dram_time_s=components["dram"],
+        format_conversion_time_s=components["format_conversion"],
+        area_mm2=area_mm2,
+        compute_density=density,
+    )
+
+
 def run(
-    model_name: str = "instant-ngp", config: FrameConfig | None = None
+    model_name: str = "instant-ngp",
+    config: FrameConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[LatencyDensityRow]:
     """Render one model on NeuRex and FlexNeRFer at INT16/8/4."""
+    engine = engine or get_default_engine()
     config = config or FrameConfig()
-    workload = get_model(model_name).build_workload(config)
-
-    neurex = NeuRex()
-    neurex_report = neurex.render_frame(workload)
-    neurex_area = neurex.area().total_mm2
-    neurex_components = neurex_report.trace.time_by_component()
-
-    rows = [
-        LatencyDensityRow(
-            device="NeuRex",
-            precision=Precision.INT16,
-            latency_s=neurex_report.latency_s,
-            normalized_latency=1.0,
-            compute_time_s=neurex_components["compute"],
-            dram_time_s=neurex_components["dram"],
-            format_conversion_time_s=neurex_components["format_conversion"],
-            area_mm2=neurex_area,
-            compute_density=1.0,
+    results = engine.run(
+        SweepSpec(
+            devices=("neurex", "flexnerfer"),
+            models=(model_name,),
+            precisions=PRECISIONS,
+            base_config=config,
         )
-    ]
+    )
+    # NeuRex collapses every precision onto one cached INT16 simulation; one
+    # row represents it in the figure.
+    neurex = next(r for r in results if r.device == "NeuRex")
+    neurex_area = engine.device("neurex").area_mm2()
+    flex_area = engine.device("flexnerfer").area_mm2()
 
-    flex = FlexNeRFer()
-    flex_area = flex.area().total_mm2
-    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
-        report = flex.render_frame(workload, precision=precision)
-        components = report.trace.time_by_component()
-        normalized = report.latency_s / neurex_report.latency_s
+    rows = [_row(neurex, normalized=1.0, area_mm2=neurex_area, density=1.0)]
+    for result in results:
+        if result.device != "FlexNeRFer":
+            continue
+        normalized = result.latency_s / neurex.latency_s
         density = (1.0 / normalized) * (neurex_area / flex_area)
-        rows.append(
-            LatencyDensityRow(
-                device="FlexNeRFer",
-                precision=precision,
-                latency_s=report.latency_s,
-                normalized_latency=normalized,
-                compute_time_s=components["compute"],
-                dram_time_s=components["dram"],
-                format_conversion_time_s=components["format_conversion"],
-                area_mm2=flex_area,
-                compute_density=density,
-            )
-        )
+        rows.append(_row(result, normalized, flex_area, density))
     return rows
 
 

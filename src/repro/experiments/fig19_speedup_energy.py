@@ -2,26 +2,31 @@
 
 NeuRex's gains are flat because it supports neither sparsity nor precision
 flexibility; FlexNeRFer's gains grow with structured pruning and with lower
-precision modes.
+precision modes.  The whole figure is one declared sweep: the engine's
+capability-aware cache simulates NeuRex once per model no matter how many
+precision / pruning points are requested.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.baselines.gpu import GPUModel, RTX_2080_TI
-from repro.baselines.neurex import NeuRex
-from repro.core.accelerator import FlexNeRFer
-from repro.nerf.models import FrameConfig, all_models, get_model
+from repro.experiments._stats import gain_geomean
+from repro.nerf.models import MODEL_REGISTRY, FrameConfig
+from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 from repro.sparse.formats import Precision
 
 #: Pruning ratios swept in the figure.
 PRUNING_RATIOS = (0.0, 0.3, 0.5, 0.7, 0.9)
 
+#: FlexNeRFer precision modes swept in the figure.
+PRECISIONS = (Precision.INT16, Precision.INT8, Precision.INT4)
+
 #: Default model subset for quick runs (the full figure averages all seven).
 DEFAULT_MODELS = ("nerf", "instant-ngp", "tensorf")
+
+#: Registry name of the reference GPU every gain is measured against.
+BASELINE_DEVICE = "rtx-2080-ti"
 
 
 @dataclass(frozen=True)
@@ -35,61 +40,61 @@ class GainPoint:
     energy_efficiency_gain: float
 
 
-def _geomean(values: list[float]) -> float:
-    return float(np.exp(np.mean(np.log(np.asarray(values)))))
-
-
 def run(
     models: tuple[str, ...] = DEFAULT_MODELS,
     pruning_ratios: tuple[float, ...] = PRUNING_RATIOS,
     config: FrameConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[GainPoint]:
     """Sweep device x precision x pruning over ``models`` and average the gains."""
+    engine = engine or get_default_engine()
     config = config or FrameConfig()
     if models == ("all",):
-        workloads = [m.build_workload(config) for m in all_models()]
-    else:
-        workloads = [get_model(name).build_workload(config) for name in models]
+        models = tuple(MODEL_REGISTRY)
 
-    gpu = GPUModel(RTX_2080_TI)
-    gpu_reports = [gpu.render_frame(w) for w in workloads]
+    baseline = engine.run(
+        SweepSpec(devices=(BASELINE_DEVICE,), models=models, base_config=config)
+    )
+    accel_rows = engine.run(
+        SweepSpec(
+            devices=("neurex", "flexnerfer"),
+            models=models,
+            precisions=PRECISIONS,
+            pruning_ratios=pruning_ratios,
+            base_config=config,
+        )
+    )
 
-    neurex = NeuRex()
-    flex = FlexNeRFer()
+    def group(device: str, precision: Precision, pruning: float):
+        return [
+            r for r in accel_rows
+            if r.device == device
+            and r.precision is precision
+            and r.pruning_ratio == pruning
+        ]
+
     points: list[GainPoint] = []
-
     for pruning in pruning_ratios:
-        speedups, energy_gains = [], []
-        for workload, gpu_report in zip(workloads, gpu_reports):
-            report = neurex.render_frame(workload, pruning_ratio=pruning)
-            speedups.append(gpu_report.latency_s / report.latency_s)
-            energy_gains.append(gpu_report.energy_j / report.energy_j)
+        rows = group("NeuRex", Precision.INT16, pruning)
         points.append(
             GainPoint(
                 device="NeuRex",
                 precision=Precision.INT16,
                 pruning_ratio=pruning,
-                speedup=_geomean(speedups),
-                energy_efficiency_gain=_geomean(energy_gains),
+                speedup=gain_geomean(baseline, rows, "latency_s"),
+                energy_efficiency_gain=gain_geomean(baseline, rows, "energy_j"),
             )
         )
-
-    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
+    for precision in PRECISIONS:
         for pruning in pruning_ratios:
-            speedups, energy_gains = [], []
-            for workload, gpu_report in zip(workloads, gpu_reports):
-                report = flex.render_frame(
-                    workload, precision=precision, pruning_ratio=pruning
-                )
-                speedups.append(gpu_report.latency_s / report.latency_s)
-                energy_gains.append(gpu_report.energy_j / report.energy_j)
+            rows = group("FlexNeRFer", precision, pruning)
             points.append(
                 GainPoint(
                     device="FlexNeRFer",
                     precision=precision,
                     pruning_ratio=pruning,
-                    speedup=_geomean(speedups),
-                    energy_efficiency_gain=_geomean(energy_gains),
+                    speedup=gain_geomean(baseline, rows, "latency_s"),
+                    energy_efficiency_gain=gain_geomean(baseline, rows, "energy_j"),
                 )
             )
     return points

@@ -12,15 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.gpu import GPUModel, RTX_2080_TI
-from repro.core.accelerator import FlexNeRFer
 from repro.nerf.hashgrid import HashGridConfig
-from repro.nerf.models import FrameConfig, get_model
+from repro.nerf.models import FrameConfig
 from repro.nerf.rays import Camera
 from repro.nerf.renderer import InstantNGPRenderer, render_reference
 from repro.nerf.scenes import get_scene
 from repro.quant.metrics import psnr
+from repro.sim.sweep import SweepEngine, get_default_engine
 from repro.sparse.formats import Precision
+
+#: Registry name of the reference GPU the energy gain is measured against.
+BASELINE_DEVICE = "rtx-2080-ti"
 
 
 @dataclass(frozen=True)
@@ -39,8 +41,10 @@ def run(
     image_size: int = 48,
     num_samples: int = 32,
     config: FrameConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[PSNRPoint]:
     """Measure PSNR (vs the FP32 render) and energy gain per precision mode."""
+    engine = engine or get_default_engine()
     config = config or FrameConfig(scene_name=scene_name)
     camera = Camera(width=image_size, height=image_size, focal=image_size * 1.2)
     scene = get_scene(scene_name)
@@ -64,12 +68,12 @@ def run(
     fp32_image = renderer.render(camera, num_samples=num_samples, record_stats=False)
     reference = fp32_image
 
-    workload = get_model("instant-ngp").build_workload(config)
-    gpu_report = GPUModel(RTX_2080_TI).render_frame(workload)
-    flex = FlexNeRFer()
+    gpu_report = engine.frame_report(BASELINE_DEVICE, "instant-ngp", config=config)
 
     def energy_gain(precision: Precision) -> float:
-        report = flex.render_frame(workload, precision=precision)
+        report = engine.frame_report(
+            "flexnerfer", "instant-ngp", config=config, precision=precision
+        )
         return gpu_report.energy_j / report.energy_j
 
     points = [

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.gpu import GPUModel, RTX_2080_TI
-from repro.core.accelerator import FlexNeRFer
-from repro.nerf.models import FrameConfig, get_model
+from repro.nerf.models import FrameConfig
+from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine, index_rows
 from repro.sparse.formats import Precision
 
 #: Batch sizes swept in the figure.
@@ -19,6 +18,9 @@ BATCH_SIZES = (2048, 4096, 8192, 16384)
 
 #: Batch size beyond which the accelerator's buffers / DRAM bandwidth saturate.
 SATURATION_BATCH = 8192
+
+#: Registry name of the reference GPU.
+BASELINE_DEVICE = "rtx-2080-ti"
 
 
 @dataclass(frozen=True)
@@ -48,26 +50,35 @@ def run(
     batch_sizes: tuple[int, ...] = BATCH_SIZES,
     model_name: str = "instant-ngp",
     precision: Precision = Precision.INT16,
+    engine: SweepEngine | None = None,
 ) -> list[BatchPoint]:
     """Sweep batch sizes for a simple and a complex scene."""
-    gpu = GPUModel(RTX_2080_TI)
-    flex = FlexNeRFer()
+    engine = engine or get_default_engine()
+    rows = engine.run(
+        SweepSpec(
+            devices=(BASELINE_DEVICE, "flexnerfer"),
+            models=(model_name,),
+            precisions=(precision,),
+            scenes=scenes,
+            batch_sizes=batch_sizes,
+            base_config=FrameConfig(),
+        )
+    )
+    by_point = index_rows(rows, "device", "scene", "batch_size")
+    gpu_name = engine.device(BASELINE_DEVICE).name
     points = []
     for scene in scenes:
         for batch in batch_sizes:
-            config = FrameConfig(scene_name=scene, batch_size=batch)
-            workload = get_model(model_name).build_workload(config)
-            gpu_report = gpu.render_frame(workload)
-            flex_report = flex.render_frame(workload, precision=precision)
-            efficiency = _batch_efficiency(batch)
-            latency = flex_report.latency_s / efficiency
+            gpu_row = by_point[(gpu_name, scene, batch)]
+            flex_row = by_point[("FlexNeRFer", scene, batch)]
+            latency = flex_row.latency_s / _batch_efficiency(batch)
             points.append(
                 BatchPoint(
                     scene=scene,
                     batch_size=batch,
                     flexnerfer_latency_s=latency,
-                    gpu_latency_s=gpu_report.latency_s,
-                    speedup=gpu_report.latency_s / latency,
+                    gpu_latency_s=gpu_row.latency_s,
+                    speedup=gpu_row.latency_s / latency,
                 )
             )
     return points

@@ -16,8 +16,28 @@ from repro.sim.utilization import dense_mapping_utilization, sparse_mapping_util
 from repro.sim.engine import GEMMCycleModel, GEMMExecution
 from repro.sim.memory import MemoryTrafficModel, TrafficReport
 from repro.sim.trace import ExecutionTrace, OpRecord
+from repro.sim.sweep import (
+    SweepCacheStats,
+    SweepEngine,
+    SweepResult,
+    SweepSpec,
+    aggregate,
+    geomean,
+    get_default_engine,
+    index_rows,
+    workload_fingerprint,
+)
 
 __all__ = [
+    "SweepCacheStats",
+    "SweepEngine",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate",
+    "geomean",
+    "get_default_engine",
+    "index_rows",
+    "workload_fingerprint",
     "ArrayConfig",
     "TileGrid",
     "tile_counts",

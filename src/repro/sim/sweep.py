@@ -1,0 +1,347 @@
+"""Cached, optionally parallel sweep harness over devices x workloads.
+
+Every frame-simulating experiment in the evaluation is some cartesian sweep:
+devices x NeRF models x precision modes x pruning ratios x batch sizes (and
+sometimes scenes).  The :class:`SweepEngine` runs such sweeps through the
+unified :class:`repro.core.device.Device` protocol with two layers of
+memoisation:
+
+* **workload cache** -- ``(model name, FrameConfig)`` -> built
+  :class:`~repro.nerf.workload.Workload`, so sweeping ten devices over the
+  same model builds its operation list once;
+* **report cache** -- ``(device, workload fingerprint, effective precision,
+  effective pruning)`` -> :class:`~repro.core.accelerator.FrameReport`.  The
+  *effective* knobs come from the device's capability flags, so asking
+  NeuRex for five pruning ratios performs one simulation and returns five
+  rows -- the flat bars of Fig. 19 for free.
+
+Sweeps can optionally fan out over a process pool (``max_workers``); unique
+cache keys are simulated exactly once either way.  Experiments share one
+process-wide engine via :func:`get_default_engine`, so e.g. Fig. 1 and
+Fig. 3 reuse each other's GPU frame reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
+
+from repro.nerf.models import FrameConfig, get_model
+from repro.sparse.formats import Precision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.accelerator import FrameReport
+    from repro.core.device import Device
+    from repro.nerf.workload import Workload
+
+WorkloadKey = tuple[str, FrameConfig]
+ReportKey = tuple[str, Hashable, Precision | None, float]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's aggregate of choice)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def workload_fingerprint(workload: "Workload") -> Hashable:
+    """Stable, hashable identity of a workload's exact operation list."""
+    return (
+        workload.model_name,
+        workload.image_width,
+        workload.image_height,
+        workload.batch_size,
+        tuple(workload.ops),
+    )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one cartesian sweep.
+
+    ``None`` entries in the ``batch_sizes`` / ``scenes`` axes mean "use the
+    base config's value"; precision ``None`` means the device's native mode.
+    """
+
+    devices: tuple[str, ...]
+    models: tuple[str, ...]
+    precisions: tuple[Precision | None, ...] = (None,)
+    pruning_ratios: tuple[float, ...] = (0.0,)
+    batch_sizes: tuple[int | None, ...] = (None,)
+    scenes: tuple[str | None, ...] = (None,)
+    base_config: FrameConfig = field(default_factory=FrameConfig)
+
+    def resolve_config(self, scene: str | None, batch: int | None) -> FrameConfig:
+        return replace(
+            self.base_config,
+            scene_name=scene or self.base_config.scene_name,
+            batch_size=batch or self.base_config.batch_size,
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One row of a sweep: the requested point plus its frame report.
+
+    ``precision`` / ``pruning_ratio`` / ``batch_size`` / ``scene`` identify
+    the *requested* sweep point; ``effective_precision`` /
+    ``effective_pruning`` are what the device actually ran (they differ when
+    a capability flag collapsed the knob, in which case several rows share
+    one cached report).
+    """
+
+    device: str
+    model: str
+    precision: Precision | None
+    pruning_ratio: float
+    batch_size: int
+    scene: str
+    effective_precision: Precision | None
+    effective_pruning: float
+    report: "FrameReport"
+
+    @property
+    def latency_s(self) -> float:
+        return self.report.latency_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.report.energy_j
+
+    @property
+    def fps(self) -> float:
+        return self.report.fps
+
+
+@dataclass
+class SweepCacheStats:
+    """Counters exposing how much work the engine's caches saved."""
+
+    workload_hits: int = 0
+    workload_misses: int = 0
+    report_hits: int = 0
+    report_misses: int = 0
+
+    @property
+    def render_calls(self) -> int:
+        """Physical ``render_frame`` invocations performed so far."""
+        return self.report_misses
+
+
+def _render_task(
+    device_name: str,
+    workload: "Workload",
+    precision: Precision | None,
+    pruning_ratio: float,
+) -> "FrameReport":
+    """Simulate one frame in a worker process (devices are built per call)."""
+    from repro.core.device import get_device
+
+    return get_device(device_name).render_frame(
+        workload, precision=precision, pruning_ratio=pruning_ratio
+    )
+
+
+class SweepEngine:
+    """Runs :class:`SweepSpec` sweeps with memoisation and optional parallelism."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        #: Process-pool width for cache-miss simulation; ``None`` -> serial.
+        self.max_workers = max_workers
+        self.stats = SweepCacheStats()
+        self._devices: dict[str, "Device"] = {}
+        self._workloads: dict[WorkloadKey, "Workload"] = {}
+        self._reports: dict[ReportKey, "FrameReport"] = {}
+
+    # -- cached building blocks ----------------------------------------------
+
+    def device(self, name: str) -> "Device":
+        """The engine's shared instance of a registered device."""
+        from repro.core.device import get_device
+
+        key = name.lower()
+        if key not in self._devices:
+            self._devices[key] = get_device(key)
+        return self._devices[key]
+
+    def workload(self, model: str, config: FrameConfig | None = None) -> "Workload":
+        """Build (or reuse) the one-frame workload of ``model`` under ``config``."""
+        config = config or FrameConfig()
+        key = (model.lower(), config)
+        if key in self._workloads:
+            self.stats.workload_hits += 1
+        else:
+            self.stats.workload_misses += 1
+            self._workloads[key] = get_model(model).build_workload(config)
+        return self._workloads[key]
+
+    def report_key(
+        self,
+        device_name: str,
+        workload: "Workload",
+        precision: Precision | None,
+        pruning_ratio: float,
+    ) -> ReportKey:
+        device = self.device(device_name)
+        return (
+            device_name.lower(),
+            workload_fingerprint(workload),
+            device.effective_precision(precision),
+            device.effective_pruning(pruning_ratio),
+        )
+
+    def frame_report(
+        self,
+        device_name: str,
+        model: str | None = None,
+        *,
+        workload: "Workload | None" = None,
+        config: FrameConfig | None = None,
+        precision: Precision | None = None,
+        pruning_ratio: float = 0.0,
+    ) -> "FrameReport":
+        """One cached frame simulation (pass either ``model`` or ``workload``)."""
+        if workload is None:
+            if model is None:
+                raise ValueError("provide either a model name or a workload")
+            workload = self.workload(model, config)
+        key = self.report_key(device_name, workload, precision, pruning_ratio)
+        cached = self._reports.get(key)
+        if cached is not None:
+            self.stats.report_hits += 1
+            return cached
+        self.stats.report_misses += 1
+        device = self.device(device_name)
+        report = device.render_frame(
+            workload,
+            precision=device.effective_precision(precision),
+            pruning_ratio=device.effective_pruning(pruning_ratio),
+        )
+        self._reports[key] = report
+        return report
+
+    # -- sweep execution ------------------------------------------------------
+
+    def _combos(self, spec: SweepSpec):
+        return itertools.product(
+            spec.devices,
+            spec.models,
+            spec.scenes,
+            spec.batch_sizes,
+            spec.precisions,
+            spec.pruning_ratios,
+        )
+
+    def run(self, spec: SweepSpec) -> list[SweepResult]:
+        """Execute the sweep and return one :class:`SweepResult` per point."""
+        if self.max_workers and self.max_workers > 1:
+            self._prefill_parallel(spec)
+        rows: list[SweepResult] = []
+        for device_name, model, scene, batch, precision, pruning in self._combos(spec):
+            device = self.device(device_name)
+            # The requested point identifies the row; a device that ignores
+            # batching is still simulated at the base config's batch size.
+            requested = spec.resolve_config(scene, batch)
+            sim_config = (
+                requested
+                if device.supports_batching
+                else spec.resolve_config(scene, None)
+            )
+            workload = self.workload(model, sim_config)
+            report = self.frame_report(
+                device_name,
+                workload=workload,
+                precision=precision,
+                pruning_ratio=pruning,
+            )
+            rows.append(
+                SweepResult(
+                    device=device.name,
+                    model=workload.model_name,
+                    precision=precision,
+                    pruning_ratio=pruning,
+                    batch_size=requested.batch_size,
+                    scene=requested.scene_name,
+                    effective_precision=device.effective_precision(precision),
+                    effective_pruning=device.effective_pruning(pruning),
+                    report=report,
+                )
+            )
+        return rows
+
+    def _prefill_parallel(self, spec: SweepSpec) -> None:
+        """Simulate the sweep's unique cache misses across a process pool."""
+        pending: dict[ReportKey, tuple[str, "Workload"]] = {}
+        for device_name, model, scene, batch, precision, pruning in self._combos(spec):
+            device = self.device(device_name)
+            config = spec.resolve_config(
+                scene, batch if device.supports_batching else None
+            )
+            workload = self.workload(model, config)
+            key = self.report_key(device_name, workload, precision, pruning)
+            if key not in self._reports and key not in pending:
+                pending[key] = (device_name.lower(), workload)
+        if not pending:
+            return
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                key: pool.submit(_render_task, device_name, workload, key[2], key[3])
+                for key, (device_name, workload) in pending.items()
+            }
+            for key, future in futures.items():
+                try:
+                    self._reports[key] = future.result()
+                except Exception:
+                    # A worker may not be able to rebuild the device (e.g. a
+                    # runtime-registered factory under the spawn start
+                    # method); the run() pass simulates such keys serially.
+                    continue
+                self.stats.report_misses += 1
+                self.stats.report_hits -= 1  # the run() pass re-counts these as hits
+
+    def clear(self) -> None:
+        """Drop every cached workload and report (devices are kept)."""
+        self._workloads.clear()
+        self._reports.clear()
+        self.stats = SweepCacheStats()
+
+
+# -- reducers over sweep rows -------------------------------------------------
+
+
+def index_rows(
+    rows: Sequence[SweepResult], *fields: str
+) -> dict[tuple, SweepResult]:
+    """Index rows by a tuple of attribute names (last write wins)."""
+    return {tuple(getattr(row, f) for f in fields): row for row in rows}
+
+
+def aggregate(
+    rows: Sequence[SweepResult],
+    value: Callable[[SweepResult], float],
+    by: Sequence[str] = (),
+    reducer: Callable[[Iterable[float]], float] = geomean,
+) -> dict[tuple, float]:
+    """Group rows by ``by`` attributes and reduce ``value`` over each group."""
+    groups: dict[tuple, list[float]] = {}
+    for row in rows:
+        groups.setdefault(tuple(getattr(row, f) for f in by), []).append(value(row))
+    return {key: reducer(values) for key, values in groups.items()}
+
+
+#: Process-wide engine shared by the experiment modules, so repeated and
+#: overlapping experiments reuse each other's simulations.
+_DEFAULT_ENGINE: SweepEngine | None = None
+
+
+def get_default_engine() -> SweepEngine:
+    """The shared process-wide :class:`SweepEngine`."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = SweepEngine()
+    return _DEFAULT_ENGINE

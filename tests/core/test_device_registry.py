@@ -1,0 +1,124 @@
+"""Tests for the unified Device protocol and DEVICE_REGISTRY."""
+
+import pytest
+
+from repro.core.accelerator import FrameReport
+from repro.core.device import (
+    DEVICE_REGISTRY,
+    Device,
+    UnsupportedKnobError,
+    available_devices,
+    get_device,
+    register_device,
+)
+from repro.nerf.models import FrameConfig, get_model
+from repro.sparse.formats import Precision
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    config = FrameConfig(image_width=64, image_height=64, batch_size=1024)
+    return get_model("instant-ngp").build_workload(config)
+
+
+EXPECTED_DEVICES = {
+    "flexnerfer",
+    "neurex",
+    "rtx-2080-ti",
+    "rtx-4090",
+    "jetson-nano",
+    "xavier-nx",
+    "nvdla",
+    "tpu",
+}
+
+
+class TestRegistryCompleteness:
+    def test_covers_every_device_family(self):
+        assert EXPECTED_DEVICES <= set(DEVICE_REGISTRY)
+        assert set(available_devices()) == set(DEVICE_REGISTRY)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_DEVICES))
+    def test_constructible_and_conforming(self, name):
+        device = get_device(name)
+        assert isinstance(device, Device)
+        assert isinstance(device.name, str) and device.name
+        for flag in ("supports_precision", "supports_pruning", "supports_batching"):
+            assert isinstance(getattr(device, flag), bool)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_DEVICES))
+    def test_render_frame_returns_report(self, name, small_workload):
+        report = get_device(name).render_frame(small_workload)
+        assert isinstance(report, FrameReport)
+        assert report.latency_s > 0
+        assert report.energy_j > 0
+        assert report.model_name == "instant-ngp"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("gameboy")
+
+    def test_register_device_roundtrip(self):
+        class Custom(Device):
+            name = "custom"
+
+            def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+                raise NotImplementedError
+
+        register_device("custom-test-device", Custom)
+        try:
+            assert isinstance(get_device("custom-test-device"), Custom)
+            with pytest.raises(ValueError):
+                register_device("custom-test-device", Custom)
+        finally:
+            del DEVICE_REGISTRY["custom-test-device"]
+
+
+class TestCapabilityFlags:
+    def test_flexnerfer_supports_everything(self):
+        flex = get_device("flexnerfer")
+        assert flex.supports_precision and flex.supports_pruning
+        assert flex.effective_precision(Precision.INT4) is Precision.INT4
+        assert flex.effective_precision(None) is Precision.INT16  # config default
+        assert flex.effective_pruning(0.7) == 0.7
+
+    def test_neurex_noops_unsupported_knobs(self, small_workload):
+        neurex = get_device("neurex")
+        assert not neurex.supports_precision and not neurex.supports_pruning
+        assert neurex.effective_precision(Precision.INT4) is Precision.INT16
+        assert neurex.effective_pruning(0.9) == 0.0
+        plain = neurex.render_frame(small_workload)
+        knobbed = neurex.render_frame(
+            small_workload, precision=Precision.INT4, pruning_ratio=0.9
+        )
+        assert knobbed.latency_s == plain.latency_s
+        assert knobbed.energy_j == plain.energy_j
+
+    def test_gpu_raises_on_unsupported_knobs(self, small_workload):
+        gpu = get_device("rtx-2080-ti")
+        with pytest.raises(UnsupportedKnobError):
+            gpu.render_frame(small_workload, precision=Precision.INT8)
+        with pytest.raises(UnsupportedKnobError):
+            gpu.render_frame(small_workload, pruning_ratio=0.5)
+
+    def test_utilization_devices_raise_on_pruning(self, small_workload):
+        for name in ("nvdla", "tpu"):
+            with pytest.raises(UnsupportedKnobError):
+                get_device(name).render_frame(small_workload, pruning_ratio=0.5)
+
+
+class TestDeviceCost:
+    def test_accelerators_fit_on_device_budget(self):
+        for name in ("flexnerfer", "neurex"):
+            device = get_device(name)
+            assert device.area_mm2() < 100.0
+            assert max(device.power_profile().values()) < 10.0
+
+    def test_gpu_cost_matches_spec_sheet(self):
+        gpu = get_device("rtx-2080-ti")
+        assert gpu.area_mm2() == pytest.approx(754.0)
+        assert gpu.power_profile() == {"typical": pytest.approx(250.0)}
+
+    def test_flexnerfer_power_grows_at_lower_precision(self):
+        profile = get_device("flexnerfer").power_profile()
+        assert profile["INT4"] > profile["INT8"] > profile["INT16"]

@@ -3,16 +3,17 @@
 import numpy as np
 import pytest
 
-from repro import FlexNeRFer, Precision
-from repro.baselines import GPUModel, NeuRex
+from repro import Precision, SweepEngine, SweepSpec
 from repro.core.compression import SparsityAwareCompressor
 from repro.core.mac_array import MACArray
-from repro.nerf.models import FrameConfig, all_models
+from repro.experiments._stats import geomean
+from repro.nerf.models import MODEL_REGISTRY, FrameConfig
 from repro.nerf.rays import Camera
 from repro.nerf.renderer import InstantNGPRenderer, render_reference
 from repro.nerf.hashgrid import HashGridConfig
 from repro.nerf.scenes import get_scene
 from repro.quant.metrics import psnr
+from repro.sim.sweep import index_rows
 from repro.sparse.tensor import random_sparse_matrix
 
 
@@ -21,17 +22,23 @@ class TestFullComparisonPipeline:
 
     @pytest.fixture(scope="class")
     def reports(self):
-        config = FrameConfig()
-        gpu, neurex, flex = GPUModel(), NeuRex(), FlexNeRFer()
-        out = {}
-        for model in all_models():
-            workload = model.build_workload(config)
-            out[model.name] = (
-                gpu.render_frame(workload),
-                neurex.render_frame(workload),
-                flex.render_frame(workload),
+        engine = SweepEngine()
+        rows = engine.run(
+            SweepSpec(
+                devices=("rtx-2080-ti", "neurex", "flexnerfer"),
+                models=tuple(MODEL_REGISTRY),
+                base_config=FrameConfig(),
             )
-        return out
+        )
+        by_point = index_rows(rows, "device", "model")
+        return {
+            model: (
+                by_point[("RTX 2080 Ti", model)].report,
+                by_point[("NeuRex", model)].report,
+                by_point[("FlexNeRFer", model)].report,
+            )
+            for model in MODEL_REGISTRY
+        }
 
     def test_flexnerfer_is_fastest_on_every_model(self, reports):
         for name, (gpu_report, neurex_report, flex_report) in reports.items():
@@ -47,8 +54,7 @@ class TestFullComparisonPipeline:
         speedups = [
             gpu.latency_s / flex.latency_s for gpu, _, flex in reports.values()
         ]
-        geomean = float(np.exp(np.mean(np.log(speedups))))
-        assert 3.0 < geomean < 40.0
+        assert 3.0 < geomean(speedups) < 40.0
 
 
 class TestComputePathConsistency:
