@@ -2,19 +2,16 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import ablation_compression, ablation_noc
+from repro.experiments import get_experiment
 
 
 def test_ablation_noc(benchmark):
-    result = run_once(benchmark, ablation_noc.run)
-    emit("Ablation - HMF-NoC vs HM-NoC / CLB", ablation_noc.format_table(result))
-    assert result.memory_access_energy_ratio > 1.5
+    result = run_once(benchmark, get_experiment("ablation-noc").run)
+    emit("Ablation - HMF-NoC vs HM-NoC / CLB", result.to_table())
+    assert result.raw.memory_access_energy_ratio > 1.5
 
 
 def test_ablation_compression(benchmark):
-    rows = run_once(benchmark, ablation_compression.run)
-    emit(
-        "Ablation - sparsity-aware compression",
-        ablation_compression.format_table(rows),
-    )
-    assert all(row.traffic_reduction > 0.0 for row in rows)
+    result = run_once(benchmark, get_experiment("ablation-compression").run)
+    emit("Ablation - sparsity-aware compression", result.to_table())
+    assert all(row.traffic_reduction > 0.0 for row in result.raw)

@@ -2,11 +2,12 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig01_gpu_latency
+from repro.experiments import get_experiment
 
 
 def test_fig01_gpu_latency(benchmark):
-    rows = run_once(benchmark, fig01_gpu_latency.run)
-    emit("Fig. 1 - GPU rendering latency", fig01_gpu_latency.format_table(rows))
+    result = run_once(benchmark, get_experiment("fig01").run)
+    emit("Fig. 1 - GPU rendering latency", result.to_table())
+    rows = result.raw
     assert len(rows) == 7
     assert all(row.exceeds_vr_threshold for row in rows)

@@ -2,10 +2,10 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig03_runtime_breakdown
+from repro.experiments import get_experiment
 
 
 def test_fig03_runtime_breakdown(benchmark):
-    rows = run_once(benchmark, fig03_runtime_breakdown.run)
-    emit("Fig. 3 - GPU runtime breakdown", fig03_runtime_breakdown.format_table(rows))
-    assert all(row.gemm_fraction > 0.3 for row in rows)
+    result = run_once(benchmark, get_experiment("fig03").run)
+    emit("Fig. 3 - GPU runtime breakdown", result.to_table())
+    assert all(row.gemm_fraction > 0.3 for row in result.raw)

@@ -2,12 +2,12 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig04_mac_utilization
+from repro.experiments import get_experiment
 
 
 def test_fig04_mac_utilization(benchmark):
-    rows = run_once(benchmark, fig04_mac_utilization.run)
-    emit("Fig. 4 - MAC utilisation", fig04_mac_utilization.format_table(rows))
-    by_key = {row.scenario: row for row in rows}
+    result = run_once(benchmark, get_experiment("fig04").run)
+    emit("Fig. 4 - MAC utilisation", result.to_table())
+    by_key = {row.scenario: row for row in result.raw}
     assert by_key["irregular_dense_gemm"].tpu_utilization == 1.0
     assert by_key["irregular_dense_gemm"].nvdla_utilization < 0.1

@@ -2,10 +2,10 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig06_fetch_sizes
+from repro.experiments import get_experiment
 
 
 def test_fig06_fetch_sizes(benchmark):
-    rows = run_once(benchmark, fig06_fetch_sizes.run)
-    emit("Fig. 6(b) - fetch sizes", fig06_fetch_sizes.format_table(rows))
-    assert [row.num_multipliers for row in rows] == [64**2, 128**2, 256**2]
+    result = run_once(benchmark, get_experiment("fig06").run)
+    emit("Fig. 6(b) - fetch sizes", result.to_table())
+    assert [row.num_multipliers for row in result.raw] == [64**2, 128**2, 256**2]

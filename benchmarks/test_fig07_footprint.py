@@ -2,13 +2,15 @@
 
 from bench_utils import emit, run_once
 
+from repro.experiments import get_experiment
 from repro.experiments import fig07_footprint
 from repro.sparse.formats import Precision, SparsityFormat
 
 
 def test_fig07_footprint(benchmark):
-    series = run_once(benchmark, fig07_footprint.run)
-    emit("Fig. 7 - normalised footprints", fig07_footprint.format_table(series))
+    result = run_once(benchmark, get_experiment("fig07").run)
+    emit("Fig. 7 - normalised footprints", result.to_table())
+    series = result.raw
     crossover_16 = fig07_footprint.crossover_sparsity(series, Precision.INT16)
     crossover_4 = fig07_footprint.crossover_sparsity(series, Precision.INT4)
     assert crossover_16[SparsityFormat.COO] < crossover_4[SparsityFormat.COO]

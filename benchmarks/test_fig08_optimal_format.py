@@ -2,13 +2,13 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig08_optimal_format
+from repro.experiments import get_experiment
 from repro.sparse.formats import SparsityFormat
 
 
 def test_fig08_optimal_format(benchmark):
-    rows = run_once(benchmark, fig08_optimal_format.run)
-    emit("Fig. 8 - optimal formats", fig08_optimal_format.format_table(rows))
-    for row in rows:
+    result = run_once(benchmark, get_experiment("fig08").run)
+    emit("Fig. 8 - optimal formats", result.to_table())
+    for row in result.raw:
         assert row.optimal_format[0] is SparsityFormat.NONE
         assert row.optimal_format[-1] is not SparsityFormat.NONE

@@ -2,11 +2,12 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig12_reduction_tree
+from repro.experiments import get_experiment
 
 
 def test_fig12_reduction_tree(benchmark):
-    result = run_once(benchmark, fig12_reduction_tree.run)
-    emit("Fig. 12(c) - MAC unit comparison", fig12_reduction_tree.format_table(result))
-    assert 0.2 < result.area_reduction < 0.4
-    assert 0.35 < result.power_reduction < 0.55
+    result = run_once(benchmark, get_experiment("fig12").run)
+    emit("Fig. 12(c) - MAC unit comparison", result.to_table())
+    comparison = result.raw
+    assert 0.2 < comparison.area_reduction < 0.4
+    assert 0.35 < comparison.power_reduction < 0.55

@@ -2,12 +2,12 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig13_input_sparsity
+from repro.experiments import get_experiment
 
 
 def test_fig13_input_sparsity(benchmark):
-    rows = run_once(benchmark, fig13_input_sparsity.run)
-    emit("Fig. 13(a) - stage sparsity", fig13_input_sparsity.format_table(rows))
-    by_scene = {row.scene: row for row in rows}
+    result = run_once(benchmark, get_experiment("fig13").run)
+    emit("Fig. 13(a) - stage sparsity", result.to_table())
+    by_scene = {row.scene: row for row in result.raw}
     assert by_scene["mic"].input_ray_marching > by_scene["lego"].input_ray_marching
-    assert all(row.output_relu1 < 0.1 for row in rows)
+    assert all(row.output_relu1 < 0.1 for row in result.raw)

@@ -2,12 +2,12 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig15_array_breakdown
+from repro.experiments import get_experiment
 
 
 def test_fig15_array_breakdown(benchmark):
-    rows = run_once(benchmark, fig15_array_breakdown.run)
-    emit("Fig. 15 - array breakdowns", fig15_array_breakdown.format_table(rows))
-    by_name = {row.name: row for row in rows}
+    result = run_once(benchmark, get_experiment("fig15").run)
+    emit("Fig. 15 - array breakdowns", result.to_table())
+    by_name = {row.name: row for row in result.raw}
     assert by_name["Bit-Scalable SIGMA"].total_area_mm2 > by_name["FlexNeRFer MAC Array"].total_area_mm2
     assert by_name["SIGMA"].total_area_mm2 < by_name["FlexNeRFer MAC Array"].total_area_mm2

@@ -2,13 +2,13 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig16_cost
+from repro.experiments import get_experiment
 
 
 def test_fig16_cost(benchmark):
-    rows = run_once(benchmark, fig16_cost.run)
-    emit("Fig. 16 - device cost", fig16_cost.format_table(rows))
-    by_device = {row.device: row for row in rows}
+    result = run_once(benchmark, get_experiment("fig16").run)
+    emit("Fig. 16 - device cost", result.to_table())
+    by_device = {row.device: row for row in result.raw}
     assert by_device["FlexNeRFer"].meets_area_constraint
     assert by_device["FlexNeRFer"].meets_power_constraint
     assert not by_device["RTX 2080 Ti"].meets_power_constraint

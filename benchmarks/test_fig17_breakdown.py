@@ -2,12 +2,13 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig17_breakdown
+from repro.experiments import get_experiment
 
 
 def test_fig17_breakdown(benchmark):
-    result = run_once(benchmark, fig17_breakdown.run)
-    emit("Fig. 17 - accelerator breakdowns", fig17_breakdown.format_table(result))
-    assert result.area_overhead > 0.0
-    assert result.power_overhead > 0.0
-    assert result.format_codec_area_fraction < 0.1
+    result = run_once(benchmark, get_experiment("fig17").run)
+    emit("Fig. 17 - accelerator breakdowns", result.to_table())
+    breakdown = result.raw
+    assert breakdown.area_overhead > 0.0
+    assert breakdown.power_overhead > 0.0
+    assert breakdown.format_codec_area_fraction < 0.1

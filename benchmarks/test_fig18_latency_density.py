@@ -2,13 +2,13 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig18_latency_density
+from repro.experiments import get_experiment
 from repro.sparse.formats import Precision
 
 
 def test_fig18_latency_density(benchmark):
-    rows = run_once(benchmark, fig18_latency_density.run)
-    emit("Fig. 18 - latency / compute density", fig18_latency_density.format_table(rows))
-    flex = {row.precision: row for row in rows if row.device == "FlexNeRFer"}
+    result = run_once(benchmark, get_experiment("fig18").run)
+    emit("Fig. 18 - latency / compute density", result.to_table())
+    flex = {row.precision: row for row in result.raw if row.device == "FlexNeRFer"}
     assert flex[Precision.INT16].normalized_latency < 1.0
     assert flex[Precision.INT4].compute_density > flex[Precision.INT16].compute_density > 1.0

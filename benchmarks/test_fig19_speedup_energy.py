@@ -2,17 +2,18 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig19_speedup_energy
+from repro.experiments import get_experiment
 from repro.sparse.formats import Precision
 
 
 def test_fig19_speedup_energy(benchmark):
-    points = run_once(
+    result = run_once(
         benchmark,
-        fig19_speedup_energy.run,
+        get_experiment("fig19").run,
         models=("nerf", "instant-ngp", "tensorf"),
     )
-    emit("Fig. 19 - speedup / energy gain", fig19_speedup_energy.format_table(points))
+    emit("Fig. 19 - speedup / energy gain", result.to_table())
+    points = result.raw
     neurex = [p.speedup for p in points if p.device == "NeuRex"]
     assert max(neurex) == min(neurex)  # flat across pruning
     flex = [

@@ -2,12 +2,12 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig20a_psnr
+from repro.experiments import get_experiment
 
 
 def test_fig20a_psnr(benchmark):
-    points = run_once(benchmark, fig20a_psnr.run)
-    emit("Fig. 20(a) - PSNR vs energy efficiency", fig20a_psnr.format_table(points))
-    by_label = {p.label: p for p in points}
+    result = run_once(benchmark, get_experiment("fig20a").run)
+    emit("Fig. 20(a) - PSNR vs energy efficiency", result.to_table())
+    by_label = {p.label: p for p in result.raw}
     assert by_label["INT16"].psnr_db > by_label["INT4"].psnr_db
     assert by_label["INT4 + outliers"].psnr_db >= by_label["INT4"].psnr_db

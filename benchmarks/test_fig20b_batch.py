@@ -2,14 +2,14 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import fig20b_batch
+from repro.experiments import get_experiment
 
 
 def test_fig20b_batch(benchmark):
-    points = run_once(benchmark, fig20b_batch.run)
-    emit("Fig. 20(b) - batch-size sweep", fig20b_batch.format_table(points))
-    mic = [p for p in points if p.scene == "mic"]
-    palace = [p for p in points if p.scene == "palace"]
+    result = run_once(benchmark, get_experiment("fig20b").run)
+    emit("Fig. 20(b) - batch-size sweep", result.to_table())
+    mic = [p for p in result.raw if p.scene == "mic"]
+    palace = [p for p in result.raw if p.scene == "palace"]
     assert min(p.flexnerfer_latency_s for p in mic) < min(
         p.flexnerfer_latency_s for p in palace
     )

@@ -2,11 +2,11 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import table02_related_work
+from repro.experiments import get_experiment
 
 
 def test_table02_related_work(benchmark):
-    rows = run_once(benchmark, table02_related_work.run)
-    emit("Table 2 - related work", table02_related_work.format_table(rows))
-    flexnerfer = rows[-1]
+    result = run_once(benchmark, get_experiment("table02").run)
+    emit("Table 2 - related work", result.to_table())
+    flexnerfer = result.raw[-1]
     assert flexnerfer.multi_sparsity_format and flexnerfer.bit_level_flexibility

@@ -2,14 +2,14 @@
 
 from bench_utils import emit, run_once
 
-from repro.experiments import table03_mac_array
+from repro.experiments import get_experiment
 from repro.sparse.formats import Precision
 
 
 def test_table03_mac_array(benchmark):
-    table = run_once(benchmark, table03_mac_array.run)
-    emit("Table 3 - MAC-array comparison", table03_mac_array.format_table(table))
-    flex = table.row("FlexNeRFer MAC Array")
-    sigma = table.row("SIGMA")
+    result = run_once(benchmark, get_experiment("table03").run)
+    emit("Table 3 - MAC-array comparison", result.to_table())
+    flex = result.raw.row("FlexNeRFer MAC Array")
+    sigma = result.raw.row("SIGMA")
     assert flex.effective_efficiency[Precision.INT16] >= sigma.effective_efficiency[Precision.INT16]
     assert 25.0 < flex.area_mm2 < 32.0

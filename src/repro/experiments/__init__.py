@@ -1,11 +1,43 @@
 """Experiment modules regenerating every table and figure of the evaluation.
 
-Each module exposes a ``run()`` function returning plain dataclasses (rows /
-series) plus a ``format_table()`` helper used by the examples and benchmark
-harnesses.  The registry maps experiment identifiers (``fig01`` ... ``fig20b``,
-``table02``, ``table03``) to their modules.
+Each module's ``run()`` returns its internal dataclasses and is registered
+as a first-class :class:`repro.experiments.api.Experiment` (id, title, tags,
+typed params).  ``Experiment.run`` wraps the same function into the uniform
+:class:`repro.experiments.api.ExperimentResult` -- named columns, JSON-safe
+rows, provenance -- consumed by the ``repro`` CLI, the benchmarks and the
+artifact-publishing CI job.
 """
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.api import (
+    BadParamError,
+    Column,
+    Experiment,
+    ExperimentResult,
+    Param,
+    Provenance,
+    UnknownExperimentError,
+    experiment,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_tags,
+    experiments_by_tag,
+    get_experiment,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "BadParamError",
+    "Column",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "Param",
+    "Provenance",
+    "UnknownExperimentError",
+    "all_tags",
+    "experiment",
+    "experiments_by_tag",
+    "get_experiment",
+    "run_experiment",
+]

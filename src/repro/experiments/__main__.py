@@ -1,41 +1,17 @@
-"""Command-line entry point: run one or all experiments.
+"""``python -m repro.experiments`` -- delegates to the ``repro`` CLI.
 
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments fig19
-    python -m repro.experiments all
+    python -m repro.experiments run fig19 --pruning-ratios 0,0.5,0.9
+    python -m repro.experiments run all --format json --out artifacts/
 """
 
 from __future__ import annotations
 
 import sys
-import time
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
-
-
-def _run_one(key: str) -> None:
-    module = get_experiment(key)
-    start = time.time()
-    result = module.run()
-    elapsed = time.time() - start
-    print(f"===== {key}: {EXPERIMENTS[key][1]} ({elapsed:.1f}s) =====")
-    print(module.format_table(result))
-    print()
-
-
-def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print("Available experiments:")
-        for key, (_, description) in EXPERIMENTS.items():
-            print(f"  {key:<22} {description}")
-        return 0
-    keys = list(EXPERIMENTS) if argv[0] == "all" else argv
-    for key in keys:
-        _run_one(key)
-    return 0
-
+from repro.experiments.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())

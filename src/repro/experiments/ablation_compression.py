@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import FlexNeRFerConfig
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.models import FrameConfig
 from repro.sim.memory import MemoryTrafficModel
 from repro.sim.sweep import SweepEngine, get_default_engine
@@ -37,6 +38,30 @@ class CompressionAblationRow:
         return 1.0 - self.compressed_bytes / self.uncompressed_bytes
 
 
+@experiment(
+    "ablation-compression",
+    title="DRAM traffic with vs without sparsity-aware compression",
+    tags=("ablation", "sparsity", "frame-sim"),
+    params=(
+        Param("models", str, DEFAULT_MODELS, help="models to measure", repeated=True),
+        Param("pruning_ratio", float, 0.5, help="structured pruning ratio"),
+        Param("precision", Precision, Precision.INT16, help="operand precision"),
+    ),
+    columns=(
+        Column("model", "<14"),
+        Column("pruning %", ">9.0f", value=lambda r: r.pruning_ratio * 100),
+        Column("dense [MB]", ">11.2f", value=lambda r: r.uncompressed_bytes / 1e6),
+        Column(
+            "compressed [MB]", ">16.2f", value=lambda r: r.compressed_bytes / 1e6
+        ),
+        Column(
+            "reduction",
+            "",
+            value=lambda r: f"{r.traffic_reduction * 100:>9.1f}%",
+            header_spec=">10",
+        ),
+    ),
+)
 def run(
     models: tuple[str, ...] = DEFAULT_MODELS,
     pruning_ratio: float = 0.5,
@@ -85,16 +110,3 @@ def run(
             )
         )
     return rows
-
-
-def format_table(rows: list[CompressionAblationRow]) -> str:
-    lines = [
-        f"{'model':<14} {'pruning %':>9} {'dense [MB]':>11} {'compressed [MB]':>16} {'reduction':>10}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.model:<14} {row.pruning_ratio * 100:>9.0f} "
-            f"{row.uncompressed_bytes / 1e6:>11.2f} {row.compressed_bytes / 1e6:>16.2f} "
-            f"{row.traffic_reduction * 100:>9.1f}%"
-        )
-    return "\n".join(lines)

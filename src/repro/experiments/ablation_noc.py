@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.distribution import DistributionNetwork
+from repro.experiments.api import Param, experiment
 from repro.noc.energy import NoCEnergyModel
 from repro.noc.hierarchical import HMFNoC, HMNoC
 from repro.sparse.formats import Precision
@@ -53,6 +54,35 @@ def _traffic_patterns(num_leaves: int, num_steps: int, reuse: float, rng: np.ran
     return patterns
 
 
+def _render(result: NoCAblationResult) -> str:
+    """Buffer-read / energy preamble plus the per-mode CLB bandwidth grid."""
+    lines = [
+        f"HM-NoC buffer reads:  {result.hm_buffer_reads}",
+        f"HMF-NoC buffer reads: {result.hmf_buffer_reads}",
+        f"on-chip memory access energy ratio (HM / HMF): {result.memory_access_energy_ratio:.2f}x",
+        "",
+        f"{'mode':<8} {'BW util w/ CLB':>15} {'BW util w/o CLB':>16}",
+    ]
+    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
+        lines.append(
+            f"{precision.name:<8} {result.clb_bandwidth_utilization[precision] * 100:>14.0f}% "
+            f"{result.no_clb_bandwidth_utilization[precision] * 100:>15.0f}%"
+        )
+    return "\n".join(lines)
+
+
+@experiment(
+    "ablation-noc",
+    title="HMF-NoC vs HM-NoC energy, CLB bandwidth",
+    tags=("ablation", "noc"),
+    params=(
+        Param("num_leaves", int, 64, help="distribution-tree leaf count"),
+        Param("num_steps", int, 64, help="mapping steps to replay"),
+        Param("reuse", float, 0.6, help="fraction of operands reused per step"),
+        Param("seed", int, 0, help="traffic-pattern RNG seed"),
+    ),
+    render=_render,
+)
 def run(
     num_leaves: int = 64,
     num_steps: int = 64,
@@ -84,19 +114,3 @@ def run(
             for p in Precision
         },
     )
-
-
-def format_table(result: NoCAblationResult) -> str:
-    lines = [
-        f"HM-NoC buffer reads:  {result.hm_buffer_reads}",
-        f"HMF-NoC buffer reads: {result.hmf_buffer_reads}",
-        f"on-chip memory access energy ratio (HM / HMF): {result.memory_access_energy_ratio:.2f}x",
-        "",
-        f"{'mode':<8} {'BW util w/ CLB':>15} {'BW util w/o CLB':>16}",
-    ]
-    for precision in (Precision.INT16, Precision.INT8, Precision.INT4):
-        lines.append(
-            f"{precision.name:<8} {result.clb_bandwidth_utilization[precision] * 100:>14.0f}% "
-            f"{result.no_clb_bandwidth_utilization[precision] * 100:>15.0f}%"
-        )
-    return "\n".join(lines)

@@ -1,0 +1,523 @@
+"""First-class Experiment API: typed params, uniform results, one registry.
+
+Every paper artifact (figure / table / ablation) is an :class:`Experiment`:
+an id, a title, a set of tags, a typed parameter schema and a ``run``
+function.  Running an experiment always produces one uniform shape, the
+:class:`ExperimentResult` -- named columns, JSON-safe row dicts and
+provenance metadata (parameter values, config fingerprint, wall time, repo
+version) -- regardless of which dataclasses the experiment uses internally.
+
+Modules register through the :func:`experiment` decorator::
+
+    @experiment(
+        "fig99",
+        title="My new study",
+        tags=("frame-sim",),
+        params=(Param("device", str, "rtx-2080-ti"),),
+        columns=(
+            Column("model", "<14"),
+            Column("latency [ms]", ">14.1f", key="latency_ms"),
+        ),
+    )
+    def run(device: str = "rtx-2080-ti") -> list[MyRow]:
+        ...
+
+and instantly get CLI flags (``repro run fig99 --device rtx-4090``), the
+shared table renderer, JSON / CSV artifacts and parallel execution.  The
+decorated function itself is returned unchanged, so ``module.run(...)``
+still hands back the raw dataclasses for tests and notebooks.
+
+The module also hosts the process-wide registry the decorator populates;
+:mod:`repro.experiments.registry` imports every experiment module (which
+triggers registration) and re-exports the lookup helpers.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+import hashlib
+import io
+import json
+import re
+import time
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.sparse.formats import Precision
+
+#: Version stamped into every result's provenance (kept in sync with
+#: ``repro.__version__`` by a test; imported lazily to avoid cycles).
+def _repo_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class ExperimentError(Exception):
+    """Base class for experiment API errors."""
+
+
+class UnknownExperimentError(ExperimentError, KeyError):
+    """An experiment id was not found in the registry."""
+
+    def __init__(self, key: str, valid: Sequence[str]):
+        self.key = key
+        self.valid = tuple(valid)
+        super().__init__(f"unknown experiment '{key}'; valid ids: {', '.join(valid)}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class BadParamError(ExperimentError, ValueError):
+    """A parameter value could not be parsed / validated."""
+
+
+# -- typed parameters ---------------------------------------------------------
+
+
+def _parse_precision(text: str) -> Precision:
+    try:
+        return Precision[text.upper().replace("-", "_")]
+    except KeyError:
+        try:
+            return Precision(int(text.removeprefix("int").removeprefix("INT")))
+        except (KeyError, ValueError) as exc:
+            valid = ", ".join(p.name for p in Precision)
+            raise BadParamError(
+                f"invalid precision '{text}'; valid: {valid}"
+            ) from exc
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise BadParamError(f"invalid boolean '{text}'")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed experiment parameter, auto-exposed as a CLI flag.
+
+    ``type`` is the *element* type (``str`` / ``int`` / ``float`` / ``bool``
+    / :class:`Precision`); ``repeated`` parameters are tuples of elements and
+    parse from comma-separated flag values (``--pruning-ratios 0,0.5,0.9``).
+    """
+
+    name: str
+    type: type = str
+    default: Any = None
+    help: str = ""
+    repeated: bool = False
+    choices: tuple[Any, ...] | None = None
+
+    @property
+    def flag(self) -> str:
+        """The CLI flag exposing this parameter."""
+        return "--" + self.name.replace("_", "-")
+
+    @property
+    def type_label(self) -> str:
+        """Human-readable type, e.g. ``float,...`` for a repeated float."""
+        label = self.type.__name__
+        return f"{label},..." if self.repeated else label
+
+    def parse(self, text: str) -> Any:
+        """Parse a CLI flag value into this parameter's type."""
+        if self.repeated:
+            parts = [p for p in text.split(",") if p != ""]
+            if not parts:
+                raise BadParamError(f"{self.flag}: expected comma-separated values")
+            return tuple(self._element_from_text(part) for part in parts)
+        return self._element_from_text(text)
+
+    def coerce(self, value: Any) -> Any:
+        """Validate / convert a programmatic value (strings are parsed)."""
+        if isinstance(value, str):
+            return self.parse(value)
+        if self.repeated:
+            try:
+                return tuple(self._coerce_element(v) for v in value)
+            except TypeError as exc:
+                raise BadParamError(
+                    f"{self.name}: expected a sequence of {self.type.__name__}"
+                ) from exc
+        return self._coerce_element(value)
+
+    def to_json(self, value: Any) -> Any:
+        """JSON-safe representation of a coerced value (for provenance)."""
+        if self.repeated:
+            return [_jsonify(v) for v in value]
+        return _jsonify(value)
+
+    # -- element conversion ---------------------------------------------------
+
+    def _element_from_text(self, text: str) -> Any:
+        try:
+            if self.type is Precision:
+                value = _parse_precision(text)
+            elif self.type is bool:
+                value = _parse_bool(text)
+            else:
+                value = self.type(text)
+        except (ValueError, TypeError) as exc:
+            raise BadParamError(
+                f"{self.flag}: invalid {self.type.__name__} '{text}'"
+            ) from exc
+        return self._check_choice(value)
+
+    def _coerce_element(self, value: Any) -> Any:
+        if isinstance(value, str):
+            return self._element_from_text(value)
+        if self.type is float and isinstance(value, (int, float)):
+            return self._check_choice(float(value))
+        if not isinstance(value, self.type):
+            raise BadParamError(
+                f"{self.name}: expected {self.type.__name__}, got {value!r}"
+            )
+        return self._check_choice(value)
+
+    def _check_choice(self, value: Any) -> Any:
+        if self.choices is not None and value not in self.choices:
+            raise BadParamError(
+                f"{self.name}: {value!r} not in {list(self.choices)}"
+            )
+        return value
+
+
+# -- the shared table renderer ------------------------------------------------
+
+_PAD_RE = re.compile(r"^([<>^]?\d+)")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of the shared fixed-width table renderer.
+
+    ``spec`` is the format spec applied to each cell (``"<14"``,
+    ``">14.1f"``, ``">14,"`` or ``""`` for free-form last columns); the
+    header is padded with the spec's alignment + width.  Cells come from
+    ``value(item)`` when given, otherwise ``getattr(item, key or header)``.
+    """
+
+    header: str
+    spec: str = ""
+    key: str | None = None
+    value: Callable[[Any], Any] | None = None
+    header_spec: str | None = None
+
+    def cell(self, item: Any) -> Any:
+        if self.value is not None:
+            return self.value(item)
+        return getattr(item, self.key or self.header)
+
+    @property
+    def header_pad(self) -> str:
+        if self.header_spec is not None:
+            return self.header_spec
+        match = _PAD_RE.match(self.spec)
+        return match.group(1) if match else ""
+
+
+def render_grid(
+    columns: Sequence[Column], items: Iterable[Any], header: bool = True
+) -> str:
+    """The one fixed-width table formatter every experiment shares."""
+    lines = []
+    if header:
+        lines.append(" ".join(format(c.header, c.header_pad) for c in columns))
+    for item in items:
+        lines.append(" ".join(format(c.cell(item), c.spec) for c in columns))
+    return "\n".join(lines)
+
+
+# -- uniform results ----------------------------------------------------------
+
+
+def _jsonify(value: Any) -> Any:
+    """Flatten dataclasses / enums / mappings into JSON-safe values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonify(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, Mapping):
+        return {
+            (k.name if isinstance(k, enum.Enum) else str(k)): _jsonify(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def default_items(raw: Any) -> Sequence[Any]:
+    """Interpret a run() return value as a sequence of row objects."""
+    if isinstance(raw, (list, tuple)):
+        return raw
+    return [raw]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result came from: enough to reproduce or cache-key it."""
+
+    experiment_id: str
+    params: dict[str, Any]
+    config_fingerprint: str
+    wall_time_s: float
+    repo_version: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "params": self.params,
+            "config_fingerprint": self.config_fingerprint,
+            "wall_time_s": self.wall_time_s,
+            "repo_version": self.repo_version,
+        }
+
+
+def config_fingerprint(experiment_id: str, params: Mapping[str, Any]) -> str:
+    """Stable hash of (experiment, param values, repo version)."""
+    canonical = json.dumps(
+        {"id": experiment_id, "params": params, "version": _repo_version()},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha1(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The one uniform result shape: columns + row dicts + provenance.
+
+    ``raw`` keeps the experiment's internal dataclasses for programmatic
+    consumers (tests, notebooks); it is excluded from serialization and
+    equality, as is the table renderer bound at run time.
+    """
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[dict[str, Any], ...]
+    provenance: Provenance
+    raw: Any = field(default=None, compare=False, repr=False)
+    _renderer: Callable[["ExperimentResult"], str] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    # -- renderers ------------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Fixed-width text table (byte-identical to the historical output)."""
+        if self._renderer is not None:
+            return self._renderer(self)
+        generic = tuple(
+            Column(name, "", value=lambda row, n=name: str(row.get(n, "")))
+            for name in self.columns
+        )
+        return render_grid(generic, self.rows)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "provenance": self.provenance.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """Rows as CSV (nested values rendered as compact JSON)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(
+                [
+                    value
+                    if isinstance(value, (str, int, float, bool)) or value is None
+                    else json.dumps(value)
+                    for value in (row.get(name) for name in self.columns)
+                ]
+            )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result (minus ``raw``) from its JSON serialization."""
+        data = json.loads(text)
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+            rows=tuple(data["rows"]),
+            provenance=Provenance(**data["provenance"]),
+        )
+
+
+# -- the experiment itself ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, parameterizable, serializable paper artifact."""
+
+    id: str
+    title: str
+    fn: Callable[..., Any]
+    tags: tuple[str, ...] = ()
+    params: tuple[Param, ...] = ()
+    #: Column specs for the shared grid renderer (None -> ``render`` is used).
+    columns: tuple[Column, ...] | None = None
+    #: Whether the grid renderer emits a header line.
+    header: bool = True
+    #: Custom table renderer over the raw result, for irregular layouts.
+    render: Callable[[Any], str] | None = None
+    #: Raw result -> sequence of row objects (default: the result itself).
+    items: Callable[[Any], Sequence[Any]] = default_items
+    #: Raw result -> JSON-safe row dicts (default: flatten ``items``).
+    to_rows: Callable[[Any], list[dict[str, Any]]] | None = None
+
+    def param(self, name: str) -> Param:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise BadParamError(
+            f"{self.id}: unknown parameter '{name}'; "
+            f"valid: {', '.join(p.name for p in self.params) or '(none)'}"
+        )
+
+    def resolve_params(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
+        """Defaults merged with validated/coerced overrides."""
+        for name in overrides:
+            self.param(name)  # raises BadParamError on unknown names
+        return {
+            p.name: (
+                p.coerce(overrides[p.name]) if p.name in overrides else p.default
+            )
+            for p in self.params
+        }
+
+    def run(self, **overrides: Any) -> ExperimentResult:
+        """Execute with typed params and wrap into an :class:`ExperimentResult`."""
+        values = self.resolve_params(overrides)
+        start = time.perf_counter()
+        raw = self.fn(**values)
+        wall_time_s = time.perf_counter() - start
+        rows = tuple(
+            self.to_rows(raw)
+            if self.to_rows is not None
+            else [_jsonify(item) for item in self.items(raw)]
+        )
+        columns = tuple(rows[0].keys()) if rows else ()
+        params_json = {p.name: p.to_json(values[p.name]) for p in self.params}
+        provenance = Provenance(
+            experiment_id=self.id,
+            params=params_json,
+            config_fingerprint=config_fingerprint(self.id, params_json),
+            wall_time_s=wall_time_s,
+            repo_version=_repo_version(),
+        )
+        return ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            columns=columns,
+            rows=rows,
+            provenance=provenance,
+            raw=raw,
+            _renderer=self._bind_renderer(),
+        )
+
+    def _bind_renderer(self) -> Callable[[ExperimentResult], str] | None:
+        if self.render is not None:
+            return lambda result: self.render(result.raw)
+        if self.columns is not None:
+            return lambda result: render_grid(
+                self.columns, self.items(result.raw), header=self.header
+            )
+        return None
+
+
+# -- the registry -------------------------------------------------------------
+
+#: Experiment id -> :class:`Experiment`, in registration order.
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp: Experiment) -> Experiment:
+    """Add an experiment to the registry (ids are unique)."""
+    if exp.id in REGISTRY:
+        raise ExperimentError(f"duplicate experiment id '{exp.id}'")
+    REGISTRY[exp.id] = exp
+    return exp
+
+
+def experiment(
+    id: str,
+    *,
+    title: str,
+    tags: Sequence[str] = (),
+    params: Sequence[Param] = (),
+    columns: Sequence[Column] | None = None,
+    header: bool = True,
+    render: Callable[[Any], str] | None = None,
+    items: Callable[[Any], Sequence[Any]] = default_items,
+    to_rows: Callable[[Any], list[dict[str, Any]]] | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a run() function as an :class:`Experiment`.
+
+    Returns the function unchanged (so direct module-level calls keep their
+    raw return types) and attaches the registered experiment as
+    ``fn.experiment``.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        exp = register(
+            Experiment(
+                id=id,
+                title=title,
+                fn=fn,
+                tags=tuple(tags),
+                params=tuple(params),
+                columns=tuple(columns) if columns is not None else None,
+                header=header,
+                render=render,
+                items=items,
+                to_rows=to_rows,
+            )
+        )
+        fn.experiment = exp
+        return fn
+
+    return decorate
+
+
+def get_experiment(key: str) -> Experiment:
+    """Look up an experiment by id (case-insensitive)."""
+    try:
+        return REGISTRY[key.lower()]
+    except KeyError:
+        raise UnknownExperimentError(key, sorted(REGISTRY)) from None
+
+
+def run_experiment(key: str, **params: Any) -> ExperimentResult:
+    """Run an experiment by id with typed parameter overrides."""
+    return get_experiment(key).run(**params)
+
+
+def experiments_by_tag(tag: str) -> list[Experiment]:
+    """All experiments carrying ``tag``, in registration order."""
+    return [exp for exp in REGISTRY.values() if tag in exp.tags]
+
+
+def all_tags() -> list[str]:
+    """Every tag in use, sorted."""
+    return sorted({tag for exp in REGISTRY.values() for tag in exp.tags})

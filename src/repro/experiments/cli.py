@@ -1,0 +1,335 @@
+"""The ``repro`` command line: list and run experiments uniformly.
+
+Usage::
+
+    repro list [--tags frame-sim,hw-cost] [--format table|json]
+    repro run <ids|tag:TAG|all> [--format table|json|csv] [--out DIR]
+              [--jobs N] [per-experiment param flags]
+
+Examples::
+
+    repro list --tags frame-sim
+    repro run fig19 --models all --pruning-ratios 0,0.5,0.9
+    repro run tag:hw-cost --format csv
+    repro run all --format json --out artifacts/ --jobs 4
+
+Every selected experiment's typed parameters are exposed as ``--flag value``
+options (``repro list --format json`` shows them); a flag applies to every
+selected experiment declaring that parameter.  Unknown experiment ids,
+unknown tags and malformed parameter values exit with status 2 and a
+one-line message -- never a traceback.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Sequence, TextIO
+
+from repro.experiments.api import (
+    BadParamError,
+    Experiment,
+    ExperimentResult,
+    UnknownExperimentError,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_tags,
+    experiments_by_tag,
+    get_experiment,
+)
+
+RUN_FORMATS = ("table", "json", "csv")
+LIST_FORMATS = ("table", "json")
+
+_USAGE = """\
+usage: repro <command> [options]
+
+commands:
+  list   list registered experiments
+           --tags TAG[,TAG]      only experiments carrying any given tag
+           --format table|json   json includes the typed parameter schemas
+  run    run experiments and render / write their results
+           selectors             experiment ids, tag:TAG groups, or 'all'
+           --format table|json|csv
+           --out DIR             write one artifact file per experiment
+           --jobs N              run up to N experiments concurrently
+           --<param> VALUE       any selected experiment's typed parameter
+
+run 'repro list' for the experiment ids and tags."""
+
+
+class CLIError(Exception):
+    """A user-facing CLI error: printed as one line, exits with status 2."""
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` console script and ``python -m``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if not args or args[0] in ("-h", "--help", "help"):
+            print(_USAGE)
+            return 0
+        command, rest = args[0], args[1:]
+        if command == "list":
+            return _cmd_list(rest)
+        if command == "run":
+            return _cmd_run(rest)
+        # Historical invocation styles keep working: ``repro fig19``,
+        # ``repro all`` behave like ``repro run ...``.
+        if command == "all" or command.lower() in EXPERIMENTS:
+            return _cmd_run(args)
+        raise CLIError(
+            f"unknown command '{command}' (expected 'list' or 'run'); "
+            f"run 'repro --help' for usage"
+        )
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# -- repro list ---------------------------------------------------------------
+
+
+def _parse_options(args: list[str], flags: tuple[str, ...]) -> dict[str, str]:
+    """Parse a flat ``--flag value`` option list against ``flags``."""
+    options: dict[str, str] = {}
+    i = 0
+    while i < len(args):
+        token = args[i]
+        if not token.startswith("--"):
+            raise CLIError(f"unexpected argument '{token}'")
+        flag, value, consumed = _flag_value(args, i)
+        if flag not in flags:
+            raise CLIError(f"unknown option '{flag}'; valid: {', '.join(flags)}")
+        options[flag] = value
+        i += consumed
+    return options
+
+
+def _cmd_list(args: list[str]) -> int:
+    options = _parse_options(args, flags=("--tags", "--format"))
+    fmt = options.get("--format", "table")
+    if fmt not in LIST_FORMATS:
+        raise CLIError(f"invalid list format '{fmt}'; valid: {', '.join(LIST_FORMATS)}")
+    experiments = list(EXPERIMENTS.values())
+    if "--tags" in options:
+        wanted = {t for t in options["--tags"].split(",") if t}
+        unknown = wanted - set(all_tags())
+        if unknown:
+            raise CLIError(
+                f"unknown tag(s) {', '.join(sorted(unknown))}; "
+                f"valid: {', '.join(all_tags())}"
+            )
+        experiments = [e for e in experiments if wanted & set(e.tags)]
+    if fmt == "json":
+        import json
+
+        print(json.dumps([_describe(e) for e in experiments], indent=2))
+        return 0
+    print("Available experiments:")
+    for exp in experiments:
+        tags = ",".join(exp.tags)
+        print(f"  {exp.id:<22} {tags:<28} {exp.title}")
+    return 0
+
+
+def _describe(exp: Experiment) -> dict[str, Any]:
+    return {
+        "id": exp.id,
+        "title": exp.title,
+        "tags": list(exp.tags),
+        "params": [
+            {
+                "name": param.name,
+                "flag": param.flag,
+                "type": param.type_label,
+                "default": param.to_json(param.default),
+                "help": param.help,
+            }
+            for param in exp.params
+        ],
+    }
+
+
+# -- repro run ----------------------------------------------------------------
+
+
+def _cmd_run(args: list[str]) -> int:
+    selectors: list[str] = []
+    options: dict[str, str] = {}
+    param_tokens: list[tuple[str, str]] = []
+    i = 0
+    while i < len(args):
+        token = args[i]
+        if token.startswith("--"):
+            flag, value, consumed = _flag_value(args, i)
+            if flag in ("--format", "--out", "--jobs"):
+                options[flag] = value
+            else:
+                param_tokens.append((flag, value))
+            i += consumed
+        else:
+            selectors.append(token)
+            i += 1
+    if not selectors:
+        raise CLIError("no experiments selected; pass ids, tag:TAG or 'all'")
+
+    fmt = options.get("--format", "table")
+    if fmt not in RUN_FORMATS:
+        raise CLIError(f"invalid format '{fmt}'; valid: {', '.join(RUN_FORMATS)}")
+    jobs = _parse_jobs(options.get("--jobs", "1"))
+    out_dir = Path(options["--out"]) if "--out" in options else None
+
+    experiments = _select(selectors)
+    overrides = _resolve_param_flags(param_tokens, experiments)
+    results = run_many(experiments, overrides, jobs=jobs)
+
+    if out_dir is not None:
+        _write_artifacts(results, fmt, out_dir)
+    else:
+        _print_results(results, fmt, sys.stdout)
+    return 0
+
+
+def _flag_value(args: list[str], i: int) -> tuple[str, str, int]:
+    token = args[i]
+    if "=" in token:
+        flag, value = token.split("=", 1)
+        return flag, value, 1
+    if i + 1 >= len(args) or args[i + 1].startswith("--"):
+        raise CLIError(f"missing value for {token}")
+    return token, args[i + 1], 2
+
+
+def _parse_jobs(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise CLIError(f"--jobs: invalid int '{text}'") from None
+    if jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    return jobs
+
+
+def _select(selectors: list[str]) -> list[Experiment]:
+    """Resolve ids / ``tag:`` groups / ``all`` into a deduped run list."""
+    chosen: dict[str, Experiment] = {}
+    for selector in selectors:
+        if selector == "all":
+            chosen.update(EXPERIMENTS)
+        elif selector.startswith("tag:"):
+            tag = selector[len("tag:"):]
+            matches = experiments_by_tag(tag)
+            if not matches:
+                raise CLIError(
+                    f"no experiments tagged '{tag}'; valid tags: {', '.join(all_tags())}"
+                )
+            chosen.update({exp.id: exp for exp in matches})
+        else:
+            try:
+                exp = get_experiment(selector)
+            except UnknownExperimentError as exc:
+                raise CLIError(str(exc)) from None
+            chosen[exp.id] = exp
+    return list(chosen.values())
+
+
+def _resolve_param_flags(
+    param_tokens: list[tuple[str, str]], experiments: list[Experiment]
+) -> dict[str, dict[str, Any]]:
+    """Map ``--flag value`` pairs onto each selected experiment's params."""
+    by_flag: dict[str, list[tuple[Experiment, Any]]] = {}
+    for exp in experiments:
+        for param in exp.params:
+            by_flag.setdefault(param.flag, []).append((exp, param))
+    overrides: dict[str, dict[str, Any]] = {exp.id: {} for exp in experiments}
+    for flag, text in param_tokens:
+        if flag not in by_flag:
+            valid = ", ".join(sorted(by_flag)) or "(none for this selection)"
+            raise CLIError(f"unknown parameter '{flag}'; valid: {valid}")
+        for exp, param in by_flag[flag]:
+            try:
+                overrides[exp.id][param.name] = param.parse(text)
+            except BadParamError as exc:
+                raise CLIError(str(exc)) from None
+    return overrides
+
+
+def run_many(
+    experiments: list[Experiment],
+    overrides: dict[str, dict[str, Any]] | None = None,
+    jobs: int = 1,
+) -> list[ExperimentResult]:
+    """Run experiments (optionally concurrently), preserving selection order.
+
+    Results are deterministic regardless of ``jobs``: experiments share the
+    process-wide cached sweep engine, whose caches are thread-safe, and every
+    experiment's output depends only on its own parameters.
+    """
+    overrides = overrides or {}
+
+    def one(exp: Experiment) -> ExperimentResult:
+        try:
+            return exp.run(**overrides.get(exp.id, {}))
+        except (ValueError, KeyError) as exc:
+            # Domain errors on user-supplied values (e.g. an unknown scene or
+            # a non-positive array dimension) surface as one-line CLI errors,
+            # not tracebacks; genuine bugs still raise.
+            message = exc.args[0] if exc.args else str(exc)
+            raise CLIError(f"{exp.id}: {message}") from exc
+
+    if jobs <= 1 or len(experiments) <= 1:
+        return [one(exp) for exp in experiments]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(one, experiments))
+
+
+# -- output -------------------------------------------------------------------
+
+
+def _render(result: ExperimentResult, fmt: str) -> str:
+    if fmt == "json":
+        return result.to_json()
+    if fmt == "csv":
+        return result.to_csv()
+    return result.to_table()
+
+
+def _print_results(results: list[ExperimentResult], fmt: str, out: TextIO) -> None:
+    if fmt == "json":
+        import json
+
+        print(json.dumps([r.to_dict() for r in results], indent=2), file=out)
+        return
+    for result in results:
+        if fmt == "table":
+            print(
+                f"===== {result.experiment_id}: {result.title} "
+                f"({result.provenance.wall_time_s:.1f}s) =====",
+                file=out,
+            )
+            print(result.to_table(), file=out)
+        else:
+            print(f"# {result.experiment_id}: {result.title}", file=out)
+            print(result.to_csv(), file=out, end="")
+        print(file=out)
+
+
+_EXTENSIONS = {"table": "txt", "json": "json", "csv": "csv"}
+
+
+def _write_artifacts(
+    results: list[ExperimentResult], fmt: str, out_dir: Path
+) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for result in results:
+        path = out_dir / f"{result.experiment_id}.{_EXTENSIONS[fmt]}"
+        text = _render(result, fmt)
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.models import MODEL_REGISTRY, FrameConfig
 from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 
@@ -27,6 +28,20 @@ class LatencyRow:
     exceeds_game_threshold: bool
 
 
+@experiment(
+    "fig01",
+    title="GPU rendering latency of seven NeRF models",
+    tags=("frame-sim", "gpu"),
+    params=(
+        Param("device", str, "rtx-2080-ti", help="registry name of the GPU"),
+    ),
+    columns=(
+        Column("model", "<14"),
+        Column("latency [ms]", ">14.1f", key="latency_ms"),
+        Column(">16.8ms", ">8", value=lambda r: str(r.exceeds_vr_threshold)),
+        Column(">8.3ms", ">8", value=lambda r: str(r.exceeds_game_threshold)),
+    ),
+)
 def run(
     device: str = "rtx-2080-ti",
     config: FrameConfig | None = None,
@@ -51,14 +66,3 @@ def run(
             )
         )
     return rows
-
-
-def format_table(rows: list[LatencyRow]) -> str:
-    """Human-readable table mirroring the figure's bar values."""
-    lines = [f"{'model':<14} {'latency [ms]':>14} {'>16.8ms':>8} {'>8.3ms':>8}"]
-    for row in rows:
-        lines.append(
-            f"{row.model:<14} {row.latency_ms:>14.1f} "
-            f"{str(row.exceeds_vr_threshold):>8} {str(row.exceeds_game_threshold):>8}"
-        )
-    return "\n".join(lines)

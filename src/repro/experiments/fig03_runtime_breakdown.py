@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.models import MODEL_REGISTRY, FrameConfig
 from repro.nerf.workload import OpCategory
 from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
@@ -28,6 +29,20 @@ class BreakdownRow:
         return self.gemm_fraction + self.encoding_fraction + self.other_fraction
 
 
+@experiment(
+    "fig03",
+    title="GPU runtime breakdown per model",
+    tags=("frame-sim", "gpu"),
+    params=(
+        Param("device", str, "rtx-2080-ti", help="registry name of the GPU"),
+    ),
+    columns=(
+        Column("model", "<14"),
+        Column("GEMM %", ">8.1f", value=lambda r: r.gemm_fraction * 100),
+        Column("Encoding %", ">12.1f", value=lambda r: r.encoding_fraction * 100),
+        Column("Other %", ">9.1f", value=lambda r: r.other_fraction * 100),
+    ),
+)
 def run(
     config: FrameConfig | None = None,
     device: str = "rtx-2080-ti",
@@ -52,13 +67,3 @@ def run(
             )
         )
     return rows
-
-
-def format_table(rows: list[BreakdownRow]) -> str:
-    lines = [f"{'model':<14} {'GEMM %':>8} {'Encoding %':>12} {'Other %':>9}"]
-    for row in rows:
-        lines.append(
-            f"{row.model:<14} {row.gemm_fraction * 100:>8.1f} "
-            f"{row.encoding_fraction * 100:>12.1f} {row.other_fraction * 100:>9.1f}"
-        )
-    return "\n".join(lines)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.baselines.nvdla import NVDLAModel
 from repro.baselines.tpu import TPUModel
+from repro.experiments.api import Column, experiment
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,16 @@ class UtilizationRow:
     tpu_utilization: float
 
 
+@experiment(
+    "fig04",
+    title="NVDLA / TPU MAC utilisation scenarios",
+    tags=("baseline", "utilization"),
+    columns=(
+        Column("scenario", "<24"),
+        Column("NVDLA %", ">8.2f", value=lambda r: r.nvdla_utilization * 100),
+        Column("TPU %", ">8.2f", value=lambda r: r.tpu_utilization * 100),
+    ),
+)
 def run() -> list[UtilizationRow]:
     """Evaluate every scenario on the NVDLA and TPU utilisation models."""
     nvdla = NVDLAModel()
@@ -111,13 +122,3 @@ def run() -> list[UtilizationRow]:
             )
         )
     return rows
-
-
-def format_table(rows: list[UtilizationRow]) -> str:
-    lines = [f"{'scenario':<24} {'NVDLA %':>8} {'TPU %':>8}"]
-    for row in rows:
-        lines.append(
-            f"{row.scenario:<24} {row.nvdla_utilization * 100:>8.2f} "
-            f"{row.tpu_utilization * 100:>8.2f}"
-        )
-    return "\n".join(lines)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.mac_array import MACArray
+from repro.experiments.api import Column, Param, experiment
 from repro.sim.array_config import ArrayConfig
 from repro.sparse.formats import Precision
 
@@ -25,6 +26,21 @@ class FetchRow:
     fetch_bytes: int
 
 
+@experiment(
+    "fig06",
+    title="Multiplier grid and fetch size per precision",
+    tags=("hw-cost", "precision"),
+    params=(
+        Param("rows", int, 64, help="physical MAC-array rows"),
+        Param("cols", int, 64, help="physical MAC-array columns"),
+    ),
+    columns=(
+        Column("mode", "<8", value=lambda r: r.precision.name),
+        Column("grid", ">12", value=lambda r: f"{r.grid_rows}x{r.grid_cols}"),
+        Column("# multipliers", ">14,", key="num_multipliers"),
+        Column("fetch [B]", ">10,", key="fetch_bytes"),
+    ),
+)
 def run(rows: int = 64, cols: int = 64) -> list[FetchRow]:
     """Compute the multiplier grid and fetch size for every precision mode."""
     array = MACArray(rows=rows, cols=cols)
@@ -42,13 +58,3 @@ def run(rows: int = 64, cols: int = 64) -> list[FetchRow]:
             )
         )
     return out
-
-
-def format_table(rows: list[FetchRow]) -> str:
-    lines = [f"{'mode':<8} {'grid':>12} {'# multipliers':>14} {'fetch [B]':>10}"]
-    for row in rows:
-        lines.append(
-            f"{row.precision.name:<8} {f'{row.grid_rows}x{row.grid_cols}':>12} "
-            f"{row.num_multipliers:>14,} {row.fetch_bytes:>10,}"
-        )
-    return "\n".join(lines)

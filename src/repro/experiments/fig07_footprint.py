@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.sparse.footprint import FootprintModel
 from repro.sparse.formats import Precision, SparsityFormat
 
@@ -38,6 +39,35 @@ class FootprintSeries:
     normalized_footprint: tuple[float, ...]
 
 
+def _points_cell(entry: "FootprintSeries") -> str:
+    return ", ".join(
+        f"{pct:g}%:{val:.2f}"
+        for pct, val in list(
+            zip(entry.sparsity_percent, entry.normalized_footprint)
+        )[::4]
+    )
+
+
+@experiment(
+    "fig07",
+    title="Memory footprint vs sparsity per format",
+    tags=("sparsity", "formats"),
+    params=(
+        Param(
+            "precisions",
+            Precision,
+            (Precision.INT16, Precision.INT8, Precision.INT4),
+            help="precision modes to sweep",
+            repeated=True,
+        ),
+    ),
+    columns=(
+        Column("precision", "<6", value=lambda e: e.precision.name),
+        Column("fmt", "<7", value=lambda e: e.fmt.value),
+        Column("points", "", value=_points_cell),
+    ),
+    header=False,
+)
 def run(
     precisions: tuple[Precision, ...] = (Precision.INT16, Precision.INT8, Precision.INT4),
 ) -> list[FootprintSeries]:
@@ -72,14 +102,3 @@ def crossover_sparsity(series: list[FootprintSeries], precision: Precision) -> d
                 out[entry.fmt] = pct
                 break
     return out
-
-
-def format_table(series: list[FootprintSeries]) -> str:
-    lines = []
-    for entry in series:
-        points = ", ".join(
-            f"{pct:g}%:{val:.2f}"
-            for pct, val in list(zip(entry.sparsity_percent, entry.normalized_footprint))[::4]
-        )
-        lines.append(f"{entry.precision.name:<6} {entry.fmt.value:<7} {points}")
-    return "\n".join(lines)

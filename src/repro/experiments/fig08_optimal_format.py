@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.experiments.fig07_footprint import SPARSITY_PERCENTAGES
 from repro.sparse.formats import Precision, SparsityFormat
 from repro.sparse.selector import FormatSelector
@@ -43,6 +44,31 @@ class OptimalFormatRow:
         return points
 
 
+def _transitions_cell(row: "OptimalFormatRow") -> str:
+    return " -> ".join(
+        f"{fmt.value}@{pct:g}%" for pct, fmt in row.transition_points()
+    )
+
+
+@experiment(
+    "fig08",
+    title="Optimal sparsity format per ratio / mode",
+    tags=("sparsity", "formats"),
+    params=(
+        Param(
+            "precisions",
+            Precision,
+            (Precision.INT4, Precision.INT8, Precision.INT16),
+            help="precision modes to sweep",
+            repeated=True,
+        ),
+    ),
+    columns=(
+        Column("precision", "<6", value=lambda r: r.precision.name),
+        Column("transitions", "", value=_transitions_cell),
+    ),
+    header=False,
+)
 def run(
     precisions: tuple[Precision, ...] = (Precision.INT4, Precision.INT8, Precision.INT16),
 ) -> list[OptimalFormatRow]:
@@ -61,13 +87,3 @@ def run(
             )
         )
     return rows
-
-
-def format_table(rows: list[OptimalFormatRow]) -> str:
-    lines = []
-    for row in rows:
-        transitions = " -> ".join(
-            f"{fmt.value}@{pct:g}%" for pct, fmt in row.transition_points()
-        )
-        lines.append(f"{row.precision.name:<6} {transitions}")
-    return "\n".join(lines)

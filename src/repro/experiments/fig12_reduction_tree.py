@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.core.mac_unit import BitScalableMACUnit
 from repro.core.reduction import MACUnitReductionTree
+from repro.experiments.api import experiment
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,26 @@ class MACUnitComparison:
         return 1.0 - self.optimized_shifters / self.unoptimized_shifters
 
 
+def _render(result: MACUnitComparison) -> str:
+    """Transposed cost table plus the paper's headline reductions."""
+    return "\n".join(
+        [
+            f"{'':<12} {'unoptimized':>12} {'FlexNeRFer':>12}",
+            f"{'area [um2]':<12} {result.unoptimized_area_um2:>12.1f} {result.optimized_area_um2:>12.1f}",
+            f"{'power [mW]':<12} {result.unoptimized_power_mw:>12.2f} {result.optimized_power_mw:>12.2f}",
+            f"{'# shifters':<12} {result.unoptimized_shifters:>12} {result.optimized_shifters:>12}",
+            f"area reduction  {result.area_reduction * 100:.1f}%",
+            f"power reduction {result.power_reduction * 100:.1f}%",
+        ]
+    )
+
+
+@experiment(
+    "fig12",
+    title="MAC unit area/power with optimised RT",
+    tags=("hw-cost",),
+    render=_render,
+)
 def run() -> MACUnitComparison:
     """Compose both MAC-unit variants from the component library."""
     optimized = BitScalableMACUnit(optimized_shifters=True)
@@ -50,15 +71,3 @@ def run() -> MACUnitComparison:
         optimized_shifters=MACUnitReductionTree(optimized=True).num_shifters,
     )
 
-
-def format_table(result: MACUnitComparison) -> str:
-    return "\n".join(
-        [
-            f"{'':<12} {'unoptimized':>12} {'FlexNeRFer':>12}",
-            f"{'area [um2]':<12} {result.unoptimized_area_um2:>12.1f} {result.optimized_area_um2:>12.1f}",
-            f"{'power [mW]':<12} {result.unoptimized_power_mw:>12.2f} {result.optimized_power_mw:>12.2f}",
-            f"{'# shifters':<12} {result.unoptimized_shifters:>12} {result.optimized_shifters:>12}",
-            f"area reduction  {result.area_reduction * 100:.1f}%",
-            f"power reduction {result.power_reduction * 100:.1f}%",
-        ]
-    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.hashgrid import HashGridConfig
 from repro.nerf.rays import Camera
 from repro.nerf.renderer import InstantNGPRenderer
@@ -28,6 +29,26 @@ class SparsityRow:
     output: float
 
 
+@experiment(
+    "fig13",
+    title="Input sparsity across rendering stages",
+    tags=("sparsity", "nerf"),
+    params=(
+        Param("scenes", str, ("lego", "mic"), help="scenes to render", repeated=True),
+        Param("image_size", int, 48, help="rendered image side length"),
+        Param("num_samples", int, 32, help="samples per ray"),
+    ),
+    columns=(
+        Column("scene", "<8"),
+        Column(
+            "input (ray-marching) %",
+            ">24.1f",
+            value=lambda r: r.input_ray_marching * 100,
+        ),
+        Column("ReLU1 output %", ">16.4f", value=lambda r: r.output_relu1 * 100),
+        Column("output %", ">10.1f", value=lambda r: r.output * 100),
+    ),
+)
 def run(
     scenes: tuple[str, ...] = ("lego", "mic"),
     image_size: int = 48,
@@ -59,13 +80,3 @@ def run(
             )
         )
     return rows
-
-
-def format_table(rows: list[SparsityRow]) -> str:
-    lines = [f"{'scene':<8} {'input (ray-marching) %':>24} {'ReLU1 output %':>16} {'output %':>10}"]
-    for row in rows:
-        lines.append(
-            f"{row.scene:<8} {row.input_ray_marching * 100:>24.1f} "
-            f"{row.output_relu1 * 100:>16.4f} {row.output * 100:>10.1f}"
-        )
-    return "\n".join(lines)

@@ -10,6 +10,7 @@ from repro.baselines.arrays import (
     SigmaArray,
 )
 from repro.core.mac_array import MACArray
+from repro.experiments.api import Param, experiment
 from repro.sparse.formats import Precision
 
 
@@ -24,6 +25,29 @@ class BreakdownRow:
     total_power_w: float
 
 
+def _render(rows: list[BreakdownRow]) -> str:
+    """One line per array: totals plus the block-level area breakdown."""
+    lines = []
+    for row in rows:
+        blocks = ", ".join(
+            f"{name}={value:.1f}mm2" for name, value in row.area_mm2.items()
+        )
+        lines.append(
+            f"{row.name:<22} total {row.total_area_mm2:5.1f} mm2 / "
+            f"{row.total_power_w:4.1f} W  ({blocks})"
+        )
+    return "\n".join(lines)
+
+
+@experiment(
+    "fig15",
+    title="Compute-array area/power breakdowns",
+    tags=("hw-cost", "baseline"),
+    params=(
+        Param("precision", Precision, Precision.INT16, help="operating mode"),
+    ),
+    render=_render,
+)
 def run(precision: Precision = Precision.INT16) -> list[BreakdownRow]:
     """Collect area/power breakdowns for the four arrays at ``precision``."""
     rows = []
@@ -59,16 +83,3 @@ def run(precision: Precision = Precision.INT16) -> list[BreakdownRow]:
         )
     )
     return rows
-
-
-def format_table(rows: list[BreakdownRow]) -> str:
-    lines = []
-    for row in rows:
-        blocks = ", ".join(
-            f"{name}={value:.1f}mm2" for name, value in row.area_mm2.items()
-        )
-        lines.append(
-            f"{row.name:<22} total {row.total_area_mm2:5.1f} mm2 / "
-            f"{row.total_power_w:4.1f} W  ({blocks})"
-        )
-    return "\n".join(lines)

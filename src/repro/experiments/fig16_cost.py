@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.device import get_device
+from repro.experiments.api import Column, Param, experiment
 
 #: On-device integration constraints quoted in the paper.
 AREA_CONSTRAINT_MM2 = 100.0
@@ -31,6 +32,34 @@ class DeviceCostRow:
     meets_power_constraint: bool
 
 
+@experiment(
+    "fig16",
+    title="Accelerator-level area/power vs GPUs and NeuRex",
+    tags=("hw-cost",),
+    params=(
+        Param(
+            "devices",
+            str,
+            DEFAULT_DEVICES,
+            help="registry names of the devices to compare",
+            repeated=True,
+        ),
+    ),
+    columns=(
+        Column("device", "<14"),
+        Column("area [mm2]", ">10.1f", key="area_mm2"),
+        Column(
+            "power [W]",
+            ">28",
+            value=lambda r: ", ".join(f"{k}:{v:.1f}" for k, v in r.power_w.items()),
+        ),
+        Column(
+            "fits?",
+            ">6",
+            value=lambda r: str(r.meets_area_constraint and r.meets_power_constraint),
+        ),
+    ),
+)
 def run(devices: tuple[str, ...] = DEFAULT_DEVICES) -> list[DeviceCostRow]:
     """Collect area / power for every requested registry device."""
     rows = []
@@ -48,12 +77,3 @@ def run(devices: tuple[str, ...] = DEFAULT_DEVICES) -> list[DeviceCostRow]:
             )
         )
     return rows
-
-
-def format_table(rows: list[DeviceCostRow]) -> str:
-    lines = [f"{'device':<14} {'area [mm2]':>10} {'power [W]':>28} {'fits?':>6}"]
-    for row in rows:
-        power = ", ".join(f"{k}:{v:.1f}" for k, v in row.power_w.items())
-        fits = row.meets_area_constraint and row.meets_power_constraint
-        lines.append(f"{row.device:<14} {row.area_mm2:>10.1f} {power:>28} {str(fits):>6}")
-    return "\n".join(lines)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.device import get_device
+from repro.experiments.api import Param, experiment
 from repro.sparse.formats import Precision
 
 
@@ -57,6 +58,34 @@ class Fig17Result:
         return self.flexnerfer.power_fraction("gemm_unit/format_codec")
 
 
+def _render(result: Fig17Result) -> str:
+    """Nested block-level listing per accelerator plus the headline overheads."""
+    lines = []
+    for device in (result.neurex, result.flexnerfer):
+        lines.append(
+            f"{device.device}: {device.total_area_mm2:.1f} mm2, {device.total_power_w:.1f} W"
+        )
+        for block, value in device.area_mm2.items():
+            lines.append(
+                f"  {block:<32} {value:6.2f} mm2  {device.power_w.get(block, 0.0):5.2f} W"
+            )
+    lines.append(
+        f"area overhead vs NeuRex: {result.area_overhead * 100:.1f}%  "
+        f"power overhead: {result.power_overhead * 100:.1f}%"
+    )
+    return "\n".join(lines)
+
+
+@experiment(
+    "fig17",
+    title="FlexNeRFer / NeuRex cost breakdowns",
+    tags=("hw-cost",),
+    params=(
+        Param("precision", Precision, Precision.INT16, help="operating mode"),
+    ),
+    render=_render,
+    items=lambda result: (result.neurex, result.flexnerfer),
+)
 def run(precision: Precision = Precision.INT16) -> Fig17Result:
     """Compute both breakdowns at ``precision`` (the paper reports INT16)."""
     flex = get_device("flexnerfer")
@@ -81,20 +110,3 @@ def run(precision: Precision = Precision.INT16) -> Fig17Result:
             total_power_w=neurex_power.total_w,
         ),
     )
-
-
-def format_table(result: Fig17Result) -> str:
-    lines = []
-    for device in (result.neurex, result.flexnerfer):
-        lines.append(
-            f"{device.device}: {device.total_area_mm2:.1f} mm2, {device.total_power_w:.1f} W"
-        )
-        for block, value in device.area_mm2.items():
-            lines.append(
-                f"  {block:<32} {value:6.2f} mm2  {device.power_w.get(block, 0.0):5.2f} W"
-            )
-    lines.append(
-        f"area overhead vs NeuRex: {result.area_overhead * 100:.1f}%  "
-        f"power overhead: {result.power_overhead * 100:.1f}%"
-    )
-    return "\n".join(lines)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.models import FrameConfig
 from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 from repro.sparse.formats import Precision
@@ -51,6 +52,25 @@ def _row(result, normalized: float, area_mm2: float, density: float) -> LatencyD
     )
 
 
+@experiment(
+    "fig18",
+    title="Normalised latency and compute density",
+    tags=("frame-sim",),
+    params=(
+        Param("model_name", str, "instant-ngp", help="NeRF model to render"),
+    ),
+    columns=(
+        Column("device", "<12"),
+        Column("mode", "<6", value=lambda r: r.precision.name if r.precision else "-"),
+        Column("norm latency", ">12.3f", key="normalized_latency"),
+        Column("density", ">9.2f", key="compute_density"),
+        Column(
+            "fmt conv %",
+            ">11.1f",
+            value=lambda r: r.format_conversion_fraction * 100,
+        ),
+    ),
+)
 def run(
     model_name: str = "instant-ngp",
     config: FrameConfig | None = None,
@@ -81,16 +101,3 @@ def run(
         density = (1.0 / normalized) * (neurex_area / flex_area)
         rows.append(_row(result, normalized, flex_area, density))
     return rows
-
-
-def format_table(rows: list[LatencyDensityRow]) -> str:
-    lines = [
-        f"{'device':<12} {'mode':<6} {'norm latency':>12} {'density':>9} {'fmt conv %':>11}"
-    ]
-    for row in rows:
-        mode = row.precision.name if row.precision else "-"
-        lines.append(
-            f"{row.device:<12} {mode:<6} {row.normalized_latency:>12.3f} "
-            f"{row.compute_density:>9.2f} {row.format_conversion_fraction * 100:>11.1f}"
-        )
-    return "\n".join(lines)

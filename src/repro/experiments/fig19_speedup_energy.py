@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments._stats import gain_geomean
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.models import MODEL_REGISTRY, FrameConfig
 from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 from repro.sparse.formats import Precision
@@ -40,6 +41,34 @@ class GainPoint:
     energy_efficiency_gain: float
 
 
+@experiment(
+    "fig19",
+    title="Speedup / energy gain over the GPU",
+    tags=("frame-sim", "sparsity", "precision"),
+    params=(
+        Param(
+            "models",
+            str,
+            DEFAULT_MODELS,
+            help="models to average over ('all' for every registered model)",
+            repeated=True,
+        ),
+        Param(
+            "pruning_ratios",
+            float,
+            PRUNING_RATIOS,
+            help="structured pruning ratios to sweep",
+            repeated=True,
+        ),
+    ),
+    columns=(
+        Column("device", "<12"),
+        Column("mode", "<6", value=lambda p: p.precision.name if p.precision else "-"),
+        Column("pruning %", ">9.0f", value=lambda p: p.pruning_ratio * 100),
+        Column("speedup", ">9.1f", key="speedup"),
+        Column("energy gain", ">12.1f", key="energy_efficiency_gain"),
+    ),
+)
 def run(
     models: tuple[str, ...] = DEFAULT_MODELS,
     pruning_ratios: tuple[float, ...] = PRUNING_RATIOS,
@@ -98,14 +127,3 @@ def run(
                 )
             )
     return points
-
-
-def format_table(points: list[GainPoint]) -> str:
-    lines = [f"{'device':<12} {'mode':<6} {'pruning %':>9} {'speedup':>9} {'energy gain':>12}"]
-    for point in points:
-        mode = point.precision.name if point.precision else "-"
-        lines.append(
-            f"{point.device:<12} {mode:<6} {point.pruning_ratio * 100:>9.0f} "
-            f"{point.speedup:>9.1f} {point.energy_efficiency_gain:>12.1f}"
-        )
-    return "\n".join(lines)

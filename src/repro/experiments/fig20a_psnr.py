@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.hashgrid import HashGridConfig
 from repro.nerf.models import FrameConfig
 from repro.nerf.rays import Camera
@@ -36,6 +37,25 @@ class PSNRPoint:
     energy_efficiency_gain: float
 
 
+@experiment(
+    "fig20a",
+    title="PSNR vs energy efficiency per precision",
+    tags=("frame-sim", "nerf", "quant"),
+    params=(
+        Param("scene_name", str, "lego", help="scene to render"),
+        Param("image_size", int, 48, help="rendered image side length"),
+        Param("num_samples", int, 32, help="samples per ray"),
+    ),
+    columns=(
+        Column("setting", "<18", key="label"),
+        Column(
+            "PSNR [dB]",
+            ">10",
+            value=lambda p: "inf" if p.psnr_db == float("inf") else f"{p.psnr_db:.1f}",
+        ),
+        Column("energy gain", ">12.1f", key="energy_efficiency_gain"),
+    ),
+)
 def run(
     scene_name: str = "lego",
     image_size: int = 48,
@@ -110,13 +130,3 @@ def run(
             )
         )
     return points
-
-
-def format_table(points: list[PSNRPoint]) -> str:
-    lines = [f"{'setting':<18} {'PSNR [dB]':>10} {'energy gain':>12}"]
-    for point in points:
-        psnr_text = "inf" if point.psnr_db == float("inf") else f"{point.psnr_db:.1f}"
-        lines.append(
-            f"{point.label:<18} {psnr_text:>10} {point.energy_efficiency_gain:>12.1f}"
-        )
-    return "\n".join(lines)

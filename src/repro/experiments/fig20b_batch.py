@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, Param, experiment
 from repro.nerf.models import FrameConfig
 from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine, index_rows
 from repro.sparse.formats import Precision
@@ -45,6 +46,29 @@ def _batch_efficiency(batch_size: int) -> float:
     return 0.55 + 0.45 * ramp
 
 
+@experiment(
+    "fig20b",
+    title="Speedup vs batch size and scene complexity",
+    tags=("frame-sim", "nerf"),
+    params=(
+        Param("scenes", str, ("mic", "palace"), help="scenes to sweep", repeated=True),
+        Param(
+            "batch_sizes",
+            int,
+            BATCH_SIZES,
+            help="ray batch sizes to sweep",
+            repeated=True,
+        ),
+        Param("model_name", str, "instant-ngp", help="NeRF model to render"),
+        Param("precision", Precision, Precision.INT16, help="FlexNeRFer mode"),
+    ),
+    columns=(
+        Column("scene", "<8"),
+        Column("batch", ">6", key="batch_size"),
+        Column("speedup", ">9.1f", key="speedup"),
+        Column("latency [ms]", ">13.1f", value=lambda p: p.flexnerfer_latency_s * 1e3),
+    ),
+)
 def run(
     scenes: tuple[str, ...] = ("mic", "palace"),
     batch_sizes: tuple[int, ...] = BATCH_SIZES,
@@ -82,13 +106,3 @@ def run(
                 )
             )
     return points
-
-
-def format_table(points: list[BatchPoint]) -> str:
-    lines = [f"{'scene':<8} {'batch':>6} {'speedup':>9} {'latency [ms]':>13}"]
-    for point in points:
-        lines.append(
-            f"{point.scene:<8} {point.batch_size:>6} {point.speedup:>9.1f} "
-            f"{point.flexnerfer_latency_s * 1e3:>13.1f}"
-        )
-    return "\n".join(lines)

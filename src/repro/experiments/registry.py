@@ -1,12 +1,15 @@
-"""Registry mapping experiment identifiers to their modules."""
+"""Registry of every experiment, populated by importing the modules.
+
+Each experiment module registers itself through the
+:func:`repro.experiments.api.experiment` decorator at import time; this
+module imports them all (in the paper's artifact order, which is also the
+order ``repro run all`` executes) and re-exports the lookup helpers.
+"""
 
 from __future__ import annotations
 
-from types import ModuleType
-
-from repro.experiments import (
-    ablation_compression,
-    ablation_noc,
+# Imported for their registration side effect, in paper-artifact order.
+from repro.experiments import (  # noqa: F401
     fig01_gpu_latency,
     fig03_runtime_breakdown,
     fig04_mac_utilization,
@@ -15,6 +18,8 @@ from repro.experiments import (
     fig08_optimal_format,
     fig12_reduction_tree,
     fig13_input_sparsity,
+    table02_related_work,
+    table03_mac_array,
     fig15_array_breakdown,
     fig16_cost,
     fig17_breakdown,
@@ -22,47 +27,30 @@ from repro.experiments import (
     fig19_speedup_energy,
     fig20a_psnr,
     fig20b_batch,
-    table02_related_work,
-    table03_mac_array,
+    ablation_noc,
+    ablation_compression,
+)
+from repro.experiments.api import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    UnknownExperimentError,
+    all_tags,
+    experiments_by_tag,
+    get_experiment,
+    run_experiment,
 )
 
-#: Experiment id -> (module, short description).
-EXPERIMENTS: dict[str, tuple[ModuleType, str]] = {
-    "fig01": (fig01_gpu_latency, "GPU rendering latency of seven NeRF models"),
-    "fig03": (fig03_runtime_breakdown, "GPU runtime breakdown per model"),
-    "fig04": (fig04_mac_utilization, "NVDLA / TPU MAC utilisation scenarios"),
-    "fig06": (fig06_fetch_sizes, "Multiplier grid and fetch size per precision"),
-    "fig07": (fig07_footprint, "Memory footprint vs sparsity per format"),
-    "fig08": (fig08_optimal_format, "Optimal sparsity format per ratio / mode"),
-    "fig12": (fig12_reduction_tree, "MAC unit area/power with optimised RT"),
-    "fig13": (fig13_input_sparsity, "Input sparsity across rendering stages"),
-    "table02": (table02_related_work, "Qualitative flexible-NoC comparison"),
-    "table03": (table03_mac_array, "MAC-array spec comparison"),
-    "fig15": (fig15_array_breakdown, "Compute-array area/power breakdowns"),
-    "fig16": (fig16_cost, "Accelerator-level area/power vs GPUs and NeuRex"),
-    "fig17": (fig17_breakdown, "FlexNeRFer / NeuRex cost breakdowns"),
-    "fig18": (fig18_latency_density, "Normalised latency and compute density"),
-    "fig19": (fig19_speedup_energy, "Speedup / energy gain over the GPU"),
-    "fig20a": (fig20a_psnr, "PSNR vs energy efficiency per precision"),
-    "fig20b": (fig20b_batch, "Speedup vs batch size and scene complexity"),
-    "ablation-noc": (ablation_noc, "HMF-NoC vs HM-NoC energy, CLB bandwidth"),
-    "ablation-compression": (
-        ablation_compression,
-        "DRAM traffic with vs without sparsity-aware compression",
-    ),
-}
+#: Experiment id -> :class:`Experiment`, in paper-artifact order.
+EXPERIMENTS: dict[str, Experiment] = REGISTRY
 
-
-def get_experiment(key: str) -> ModuleType:
-    """Return the experiment module registered under ``key``."""
-    try:
-        return EXPERIMENTS[key.lower()][0]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown experiment '{key}'; available: {sorted(EXPERIMENTS)}"
-        ) from exc
-
-
-def run_experiment(key: str, **kwargs):
-    """Run an experiment by id and return its result object."""
-    return get_experiment(key).run(**kwargs)
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "UnknownExperimentError",
+    "all_tags",
+    "experiments_by_tag",
+    "get_experiment",
+    "run_experiment",
+]

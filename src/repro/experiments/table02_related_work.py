@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.api import Column, experiment
+
 
 @dataclass(frozen=True)
 class RelatedWorkRow:
@@ -42,19 +44,17 @@ ROWS = (
 )
 
 
+@experiment(
+    "table02",
+    title="Qualitative flexible-NoC comparison",
+    tags=("related-work", "noc"),
+    columns=(
+        Column("design", "<14", key="name"),
+        Column("dataflows", "<12", key="dataflow_modes"),
+        Column("multi-format", "<22", key="supported_formats"),
+        Column("bit-widths", "<10", key="bit_widths"),
+    ),
+)
 def run() -> tuple[RelatedWorkRow, ...]:
     """Return the comparison table rows (FlexNeRFer last, as in the paper)."""
     return ROWS
-
-
-def format_table(rows: tuple[RelatedWorkRow, ...]) -> str:
-    lines = [
-        f"{'design':<14} {'dataflows':<12} {'multi-format':<22} {'bit-widths':<10}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.name:<14} {row.dataflow_modes:<12} "
-            f"{(row.supported_formats if row.multi_sparsity_format else row.supported_formats):<22} "
-            f"{row.bit_widths:<10}"
-        )
-    return "\n".join(lines)

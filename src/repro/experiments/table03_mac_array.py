@@ -8,6 +8,7 @@ from dataclasses import dataclass
 
 from repro.baselines.arrays import ArraySpecRow, TABLE3_BASELINES
 from repro.core.mac_array import MACArray
+from repro.experiments.api import Column, experiment
 from repro.sparse.formats import Precision
 
 
@@ -43,23 +44,31 @@ def _flexnerfer_row() -> ArraySpecRow:
     )
 
 
+def _per_mode(mapping_field: str):
+    """Cell joining one value per supported precision with '/'."""
+
+    def cell(row: ArraySpecRow) -> str:
+        mapping = getattr(row, mapping_field)
+        return "/".join(f"{mapping[p]:.1f}" for p in row.precisions)
+
+    return cell
+
+
+@experiment(
+    "table03",
+    title="MAC-array spec comparison",
+    tags=("hw-cost", "baseline"),
+    columns=(
+        Column("array", "<22", key="name"),
+        Column("area [mm2]", ">10.1f", key="area_mm2"),
+        Column("power [W]", ">22", value=_per_mode("power_w")),
+        Column("peak [TOPS/W]", ">22", value=_per_mode("peak_efficiency")),
+        Column("effective [TOPS/W]", ">22", value=_per_mode("effective_efficiency")),
+    ),
+    items=lambda table: table.rows,
+)
 def run() -> Table3:
     """Build the full comparison table."""
     rows = [cls().spec_row() for cls in TABLE3_BASELINES]
     rows.append(_flexnerfer_row())
     return Table3(rows=tuple(rows))
-
-
-def format_table(table: Table3) -> str:
-    lines = [
-        f"{'array':<22} {'area [mm2]':>10} {'power [W]':>22} "
-        f"{'peak [TOPS/W]':>22} {'effective [TOPS/W]':>22}"
-    ]
-    for row in table.rows:
-        power = "/".join(f"{row.power_w[p]:.1f}" for p in row.precisions)
-        peak = "/".join(f"{row.peak_efficiency[p]:.1f}" for p in row.precisions)
-        eff = "/".join(f"{row.effective_efficiency[p]:.1f}" for p in row.precisions)
-        lines.append(
-            f"{row.name:<22} {row.area_mm2:>10.1f} {power:>22} {peak:>22} {eff:>22}"
-        )
-    return "\n".join(lines)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
@@ -157,6 +158,9 @@ class SweepEngine:
         self._devices: dict[str, "Device"] = {}
         self._workloads: dict[WorkloadKey, "Workload"] = {}
         self._reports: dict[ReportKey, "FrameReport"] = {}
+        # Guards the caches when experiments run on a thread pool (the CLI's
+        # --jobs); simulations stay serialized, cache reads stay consistent.
+        self._lock = threading.RLock()
 
     # -- cached building blocks ----------------------------------------------
 
@@ -165,20 +169,22 @@ class SweepEngine:
         from repro.core.device import get_device
 
         key = name.lower()
-        if key not in self._devices:
-            self._devices[key] = get_device(key)
-        return self._devices[key]
+        with self._lock:
+            if key not in self._devices:
+                self._devices[key] = get_device(key)
+            return self._devices[key]
 
     def workload(self, model: str, config: FrameConfig | None = None) -> "Workload":
         """Build (or reuse) the one-frame workload of ``model`` under ``config``."""
         config = config or FrameConfig()
         key = (model.lower(), config)
-        if key in self._workloads:
-            self.stats.workload_hits += 1
-        else:
-            self.stats.workload_misses += 1
-            self._workloads[key] = get_model(model).build_workload(config)
-        return self._workloads[key]
+        with self._lock:
+            if key in self._workloads:
+                self.stats.workload_hits += 1
+            else:
+                self.stats.workload_misses += 1
+                self._workloads[key] = get_model(model).build_workload(config)
+            return self._workloads[key]
 
     def report_key(
         self,
@@ -211,19 +217,20 @@ class SweepEngine:
                 raise ValueError("provide either a model name or a workload")
             workload = self.workload(model, config)
         key = self.report_key(device_name, workload, precision, pruning_ratio)
-        cached = self._reports.get(key)
-        if cached is not None:
-            self.stats.report_hits += 1
-            return cached
-        self.stats.report_misses += 1
-        device = self.device(device_name)
-        report = device.render_frame(
-            workload,
-            precision=device.effective_precision(precision),
-            pruning_ratio=device.effective_pruning(pruning_ratio),
-        )
-        self._reports[key] = report
-        return report
+        with self._lock:
+            cached = self._reports.get(key)
+            if cached is not None:
+                self.stats.report_hits += 1
+                return cached
+            self.stats.report_misses += 1
+            device = self.device(device_name)
+            report = device.render_frame(
+                workload,
+                precision=device.effective_precision(precision),
+                pruning_ratio=device.effective_pruning(pruning_ratio),
+            )
+            self._reports[key] = report
+            return report
 
     # -- sweep execution ------------------------------------------------------
 
@@ -284,8 +291,9 @@ class SweepEngine:
             )
             workload = self.workload(model, config)
             key = self.report_key(device_name, workload, precision, pruning)
-            if key not in self._reports and key not in pending:
-                pending[key] = (device_name.lower(), workload)
+            with self._lock:
+                if key not in self._reports and key not in pending:
+                    pending[key] = (device_name.lower(), workload)
         if not pending:
             return
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
@@ -295,20 +303,23 @@ class SweepEngine:
             }
             for key, future in futures.items():
                 try:
-                    self._reports[key] = future.result()
+                    report = future.result()
                 except Exception:
                     # A worker may not be able to rebuild the device (e.g. a
                     # runtime-registered factory under the spawn start
                     # method); the run() pass simulates such keys serially.
                     continue
-                self.stats.report_misses += 1
-                self.stats.report_hits -= 1  # the run() pass re-counts these as hits
+                with self._lock:
+                    self._reports[key] = report
+                    self.stats.report_misses += 1
+                    self.stats.report_hits -= 1  # the run() pass re-counts these as hits
 
     def clear(self) -> None:
         """Drop every cached workload and report (devices are kept)."""
-        self._workloads.clear()
-        self._reports.clear()
-        self.stats = SweepCacheStats()
+        with self._lock:
+            self._workloads.clear()
+            self._reports.clear()
+            self.stats = SweepCacheStats()
 
 
 # -- reducers over sweep rows -------------------------------------------------
@@ -337,11 +348,13 @@ def aggregate(
 #: Process-wide engine shared by the experiment modules, so repeated and
 #: overlapping experiments reuse each other's simulations.
 _DEFAULT_ENGINE: SweepEngine | None = None
+_DEFAULT_ENGINE_LOCK = threading.Lock()
 
 
 def get_default_engine() -> SweepEngine:
     """The shared process-wide :class:`SweepEngine`."""
     global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = SweepEngine()
-    return _DEFAULT_ENGINE
+    with _DEFAULT_ENGINE_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = SweepEngine()
+        return _DEFAULT_ENGINE

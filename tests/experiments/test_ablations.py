@@ -22,10 +22,14 @@ class TestNoCAblation:
         assert result.no_clb_bandwidth_utilization[Precision.INT8] == pytest.approx(0.5)
 
     def test_registry_integration(self):
-        assert run_experiment("ablation-noc", num_leaves=16, num_steps=8) is not None
+        result = run_experiment("ablation-noc", num_leaves=16, num_steps=8)
+        assert result.raw is not None
+        assert result.provenance.params["num_leaves"] == 16
 
-    def test_format_table_renders(self, result):
-        text = ablation_noc.format_table(result)
+    def test_table_renders(self):
+        text = run_experiment(
+            "ablation-noc", num_leaves=16, num_steps=8
+        ).to_table()
         assert "HMF-NoC" in text and "INT16" in text
 
 
@@ -44,6 +48,8 @@ class TestCompressionAblation:
         heavy = ablation_compression.run(models=("nerf",), pruning_ratio=0.9)[0]
         assert heavy.traffic_reduction > light.traffic_reduction
 
-    def test_format_table_renders(self, rows):
-        text = ablation_compression.format_table(rows)
+    def test_table_renders(self):
+        text = run_experiment(
+            "ablation-compression", models=("instant-ngp", "nerf"), pruning_ratio=0.7
+        ).to_table()
         assert "reduction" in text

@@ -1,0 +1,156 @@
+"""Tests for the ``repro`` CLI: selection, formats, artifacts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_tag_filter(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--tags", "frame-sim")
+        assert code == 0
+        assert "fig19" in out
+        assert "table02" not in out
+
+    def test_unknown_tag_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "list", "--tags", "nope")
+        assert code == 2
+        assert err.startswith("error:") and "valid" in err
+
+    def test_json_listing_exposes_param_schema(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--format", "json")
+        assert code == 0
+        entries = {entry["id"]: entry for entry in json.loads(out)}
+        fig19 = entries["fig19"]
+        flags = {param["flag"] for param in fig19["params"]}
+        assert flags == {"--models", "--pruning-ratios"}
+
+    def test_help(self, capsys):
+        code, out, _ = run_cli(capsys, "--help")
+        assert code == 0
+        assert "usage" in out
+
+
+class TestRunErrors:
+    def test_unknown_id_exits_2_listing_valid_ids(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig99")
+        assert code == 2
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "unknown experiment 'fig99'" in err
+        assert "fig01" in err and "ablation-noc" in err
+
+    def test_bad_param_value_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig19", "--pruning-ratios", "0,zap")
+        assert code == 2
+        assert err.count("\n") == 1
+        assert "--pruning-ratios" in err
+
+    def test_unknown_param_flag_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig06", "--bogus", "1")
+        assert code == 2
+        assert "unknown parameter '--bogus'" in err
+
+    def test_unknown_tag_selector_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "run", "tag:nope")
+        assert code == 2
+        assert "valid tags" in err
+
+    def test_no_selection_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "run")
+        assert code == 2
+
+    def test_bad_format_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig06", "--format", "xml")
+        assert code == 2
+        assert "invalid format" in err
+
+    def test_well_typed_but_invalid_value_exits_2(self, capsys):
+        # -4 parses as an int; the experiment itself rejects it at run time.
+        code, _, err = run_cli(capsys, "run", "fig06", "--rows", "-4")
+        assert code == 2
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert err.startswith("error: fig06:")
+
+    def test_unknown_scene_value_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig13", "--scenes", "nope")
+        assert code == 2
+        assert err.count("\n") == 1
+        assert "unknown scene" in err
+
+
+class TestRun:
+    def test_table_output(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig06")
+        assert code == 0
+        assert "===== fig06:" in out
+        assert "INT16" in out
+
+    def test_param_flags_reach_the_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig06", "--rows", "32", "--cols", "32")
+        assert code == 0
+        assert "32x32" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig04", "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload[0]["experiment_id"] == "fig04"
+        assert payload[0]["provenance"]["params"] == {}
+
+    def test_csv_output(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig04", "--format", "csv")
+        assert code == 0
+        assert out.splitlines()[1].startswith("scenario")
+
+    def test_tag_selector_runs_group(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "tag:formats", "--format", "json")
+        assert code == 0
+        ids = [entry["experiment_id"] for entry in json.loads(out)]
+        assert ids == ["fig07", "fig08"]
+
+    def test_legacy_invocation_styles(self, capsys):
+        code, out, _ = run_cli(capsys, "fig06")
+        assert code == 0
+        assert "===== fig06:" in out
+
+    def test_out_dir_writes_artifacts(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "run", "fig04", "table02", "--format", "json",
+            "--out", str(tmp_path),
+        )
+        assert code == 0
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "fig04.json", "table02.json",
+        ]
+        data = json.loads((tmp_path / "fig04.json").read_text())
+        assert data["columns"]
+
+    def test_jobs_flag_produces_same_tables(self, capsys):
+        _, serial_out, _ = run_cli(capsys, "run", "fig04", "fig06", "table02")
+        code, parallel_out, _ = run_cli(
+            capsys, "run", "fig04", "fig06", "table02", "--jobs", "3"
+        )
+        assert code == 0
+
+        def tables(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("=====")  # headers carry wall times
+            ]
+
+        assert tables(parallel_out) == tables(serial_out)

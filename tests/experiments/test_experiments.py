@@ -29,10 +29,13 @@ class TestRegistry:
         with pytest.raises(KeyError):
             get_experiment("fig99")
 
-    def test_every_module_has_run_and_format(self):
-        for module, _ in EXPERIMENTS.values():
-            assert hasattr(module, "run")
-            assert hasattr(module, "format_table")
+    def test_every_experiment_is_registered_with_metadata(self):
+        for exp in EXPERIMENTS.values():
+            assert callable(exp.fn)
+            assert exp.title
+            assert exp.tags
+            # Either the shared grid renderer or a custom layout is wired up.
+            assert exp.columns is not None or exp.render is not None
 
 
 class TestFig01:
@@ -45,7 +48,7 @@ class TestFig01:
 
 class TestFig03:
     def test_gemm_dominates_everywhere(self):
-        rows = run_experiment("fig03")
+        rows = run_experiment("fig03").raw
         for row in rows:
             assert row.gemm_fraction > 0.3
             assert row.total == pytest.approx(1.0)
@@ -66,7 +69,7 @@ class TestFig04:
 
 class TestFig06:
     def test_fetch_size_doubles(self):
-        rows = run_experiment("fig06")
+        rows = run_experiment("fig06").raw
         fetch = [row.fetch_bytes for row in rows]
         assert fetch == [8192, 16384, 32768]
 
@@ -94,7 +97,7 @@ class TestFig07And08:
 
 class TestFig12:
     def test_reductions_match_paper(self):
-        result = run_experiment("fig12")
+        result = run_experiment("fig12").raw
         assert result.area_reduction == pytest.approx(0.283, abs=0.03)
         assert result.power_reduction == pytest.approx(0.456, abs=0.03)
         assert result.shifter_reduction == pytest.approx(1 / 3, abs=0.01)
@@ -102,7 +105,7 @@ class TestFig12:
 
 class TestFig13:
     def test_stage_sparsity_trends(self):
-        rows = {row.scene: row for row in run_experiment("fig13")}
+        rows = {row.scene: row for row in run_experiment("fig13").raw}
         for row in rows.values():
             assert row.input_ray_marching > 0.5
             assert row.output_relu1 < 0.1
@@ -112,7 +115,7 @@ class TestFig13:
 
 class TestTable03:
     def test_flexnerfer_has_best_effective_efficiency(self):
-        table = run_experiment("table03")
+        table = run_experiment("table03").raw
         flex = table.row("FlexNeRFer MAC Array")
         for name in ("SIGMA", "Bit Fusion", "Bit-Scalable SIGMA"):
             other = table.row(name)
@@ -132,7 +135,7 @@ class TestFig16And17:
         assert rows["FlexNeRFer"].meets_area_constraint and rows["FlexNeRFer"].meets_power_constraint
 
     def test_overheads_relative_to_neurex(self):
-        result = run_experiment("fig17")
+        result = run_experiment("fig17").raw
         assert 0.2 < result.area_overhead < 0.8      # paper: ~48 %
         assert 0.1 < result.power_overhead < 0.6     # paper: ~35 %
         assert 0.0 < result.format_codec_area_fraction < 0.08
@@ -192,7 +195,7 @@ class TestFig19:
 
 class TestFig20:
     def test_psnr_trends(self):
-        points = {p.label: p for p in run_experiment("fig20a")}
+        points = {p.label: p for p in run_experiment("fig20a").raw}
         # INT16 is essentially loss-less, lower precisions degrade monotonically.
         assert points["INT16"].psnr_db > 40.0
         assert points["INT16"].psnr_db >= points["INT8"].psnr_db >= points["INT4"].psnr_db
