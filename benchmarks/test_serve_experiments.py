@@ -1,0 +1,44 @@
+"""Benchmarks regenerating the serving studies (`serve-*` experiments)."""
+
+from bench_utils import emit, run_once
+
+from repro.experiments import get_experiment
+
+
+def test_serve_latency_sla(benchmark):
+    result = run_once(benchmark, get_experiment("serve-latency-sla").run)
+    emit("Serving - tail latency / goodput vs offered load", result.to_table())
+    points = result.raw
+    # Tail latency grows monotonically with offered load...
+    p95 = [p.p95_latency_ms for p in points]
+    assert p95 == sorted(p95)
+    # ...and the saturated point misses far more SLAs than the light one.
+    assert points[0].sla_attainment > points[-1].sla_attainment
+
+
+def test_serve_fleet_mix(benchmark):
+    result = run_once(benchmark, get_experiment("serve-fleet-mix").run)
+    emit("Serving - fleet compositions under diurnal load", result.to_table())
+    by_fleet = {p.fleet: p for p in result.raw}
+    flex2 = by_fleet["flexnerfer+flexnerfer"]
+    mixed = by_fleet["flexnerfer+neurex"]
+    neurex2 = by_fleet["neurex+neurex"]
+    # All-FlexNeRFer dominates; the mixed fleet recovers most of the gap
+    # because the router steers sparsity-friendly scenarios appropriately.
+    assert flex2.p95_latency_ms < mixed.p95_latency_ms < neurex2.p95_latency_ms
+    assert flex2.sla_attainment >= mixed.sla_attainment > neurex2.sla_attainment
+
+
+def test_serve_batch_policy(benchmark):
+    result = run_once(benchmark, get_experiment("serve-batch-policy").run)
+    emit("Serving - FIFO vs batch-up-to-deadline", result.to_table())
+    by_policy = {p.policy: p for p in result.raw}
+    fifo = by_policy["fifo"]
+    batch8 = by_policy["batch-8"]
+    # Batching rescues an overloaded device: order-of-magnitude tail win,
+    # higher goodput, cheaper requests.
+    assert batch8.p95_latency_ms < fifo.p95_latency_ms / 5
+    assert batch8.goodput_rps > fifo.goodput_rps
+    assert batch8.energy_per_request_mj < fifo.energy_per_request_mj
+    # max_batch=1 degenerates to FIFO exactly (same stream, same device).
+    assert by_policy["batch-1"].p95_latency_ms == fifo.p95_latency_ms

@@ -1,0 +1,79 @@
+"""Serving simulation walkthrough: streams, schedulers, fleet metrics.
+
+Builds a scenario mix, generates a seeded Poisson request stream, serves it
+on three fleet/policy combinations and prints the serving metrics each one
+achieves -- the fleet-level view (p95 latency, goodput, energy per request)
+behind the `serve-*` experiments.
+
+Run with:  PYTHONPATH=src python examples/serving_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.serve import (
+    BatchDeadlineScheduler,
+    FIFOScheduler,
+    FleetSimulator,
+    PoissonStream,
+    Scenario,
+    ScenarioMix,
+    SparsityAwareScheduler,
+)
+from repro.sparse.formats import Precision
+
+
+def describe(label: str, report) -> None:
+    print(
+        f"{label:<34} p50={report.p50_latency_s * 1e3:7.1f} ms  "
+        f"p95={report.p95_latency_s * 1e3:7.1f} ms  "
+        f"goodput={report.goodput_rps:5.1f} rps  "
+        f"SLA={report.sla_attainment * 100:5.1f} %  "
+        f"E/req={report.energy_per_request_j * 1e3:6.1f} mJ"
+    )
+    for worker in report.workers:
+        print(
+            f"    {worker.worker:<16} served={worker.requests_served:<4} "
+            f"batches={worker.batches_served:<4} "
+            f"utilization={worker.utilization * 100:5.1f} %"
+        )
+
+
+def main() -> None:
+    # Built inline to show construction; mirrors the serve-* experiments'
+    # repro.experiments._serving.REFERENCE_MIX.
+    mix = ScenarioMix(
+        scenarios=(
+            Scenario("instant-ngp", scene="lego", width=400, height=400),
+            Scenario(
+                "instant-ngp",
+                scene="mic",
+                width=400,
+                height=400,
+                precision=Precision.INT8,
+                pruning_ratio=0.5,
+            ),
+            Scenario("tensorf", scene="lego", width=400, height=400),
+        ),
+        weights=(2.0, 1.0, 1.0),
+    )
+    stream = PoissonStream(rate_rps=25.0, duration_s=30.0, mix=mix, sla_s=0.3)
+    requests = stream.generate(seed=0)
+    print(f"stream: {len(requests)} requests over 30 s, 300 ms SLA\n")
+
+    solo = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler())
+    describe("1x FlexNeRFer, FIFO", solo.run(requests))
+
+    duo = FleetSimulator(
+        ("flexnerfer", "neurex"), scheduler=SparsityAwareScheduler()
+    )
+    describe("FlexNeRFer + NeuRex, routed", duo.run(requests))
+
+    batched = FleetSimulator(
+        ("flexnerfer",),
+        scheduler=BatchDeadlineScheduler(max_batch=8, max_wait_s=0.05),
+    )
+    describe("1x FlexNeRFer, batch<=8", batched.run(requests))
+
+
+if __name__ == "__main__":
+    main()

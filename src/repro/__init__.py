@@ -16,7 +16,11 @@ Public API overview
   ``DEVICE_REGISTRY`` covering FlexNeRFer and every baseline device.
 * :mod:`repro.sim.sweep` -- the cached :class:`SweepEngine` that runs
   device x model x precision x pruning x batch sweeps for the experiments.
-* :mod:`repro.experiments` -- one module per paper table/figure.
+* :mod:`repro.serve` -- the serving layer: request streams, scheduling
+  policies, the :class:`~repro.serve.fleet.FleetSimulator` event loop and
+  fleet-level :class:`~repro.serve.report.ServingReport` metrics.
+* :mod:`repro.experiments` -- one module per paper table/figure plus the
+  ``serve-*`` serving studies.
 """
 
 from repro.core import FlexNeRFer, FlexNeRFerConfig, FrameReport, MACArray

@@ -94,6 +94,35 @@ class Device(abc.ABC):
         """The pruning ratio that actually reaches the device's datapath."""
         return pruning_ratio if self.supports_pruning else 0.0
 
+    # -- serving hooks ---------------------------------------------------------
+
+    #: Marginal latency of each extra same-scenario frame co-scheduled in one
+    #: batch, as a fraction of the single-frame latency.  The default 1.0
+    #: means pure serialization; devices that amortize weight fetch /
+    #: encoding-table residency across a batch override this below.  (This
+    #: is a serving-layer knob, independent of ``supports_batching``, which
+    #: is about the *ray* batch-size sweep axis.)
+    batch_marginal_latency: ClassVar[float] = 1.0
+    #: Marginal energy of each extra frame in a batch (same convention).
+    batch_marginal_energy: ClassVar[float] = 1.0
+
+    def service_time_s(self, frame_latency_s: float, batch: int = 1) -> float:
+        """Busy time to serve ``batch`` identical requests in one dispatch.
+
+        The first frame pays full price; each additional co-scheduled frame
+        costs ``batch_marginal_latency`` of the single-frame latency, so a
+        device that keeps the default of 1.0 simply serializes.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return frame_latency_s * (1.0 + self.batch_marginal_latency * (batch - 1))
+
+    def service_energy_j(self, frame_energy_j: float, batch: int = 1) -> float:
+        """Energy to serve ``batch`` identical requests in one dispatch."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return frame_energy_j * (1.0 + self.batch_marginal_energy * (batch - 1))
+
     # -- hardware cost --------------------------------------------------------
 
     def area_mm2(self) -> float:
@@ -122,34 +151,47 @@ class FlexNeRFerDevice(Device):
     supports_pruning = True
     supports_batching = True
     native_precision = Precision.INT16
+    # Weights, format metadata and the hash-encoding tables stay resident
+    # across co-scheduled frames, so extra frames of a batch skip most DRAM
+    # setup traffic.
+    batch_marginal_latency = 0.6
+    batch_marginal_energy = 0.75
 
     def __init__(self, config=None) -> None:
+        """Wrap a fresh :class:`~repro.core.accelerator.FlexNeRFer` model."""
         from repro.core.accelerator import FlexNeRFer
 
         self.impl = FlexNeRFer(config)
         self.name = self.impl.name
 
     def effective_precision(self, precision: Precision | None) -> Precision | None:
+        """Default the precision knob to the config's precision mode."""
         return precision or self.impl.config.default_precision
 
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        """Simulate one frame on the accelerator at the requested knobs."""
         return self.impl.render_frame(
             workload, precision=precision, pruning_ratio=pruning_ratio
         )
 
     def area_mm2(self) -> float:
+        """Total modelled chip area in mm^2."""
         return self.impl.area().total_mm2
 
     def power_w(self, precision: Precision | None = None) -> float:
+        """Total modelled power at ``precision`` (default mode when None)."""
         return self.impl.power(precision).total_w
 
     def power_profile(self) -> dict[str, float]:
+        """Power at each supported precision mode (Fig. 16's rows)."""
         return {p.name: self.power_w(p) for p in PRECISION_MODES}
 
     def area_report(self) -> "AreaReport":
+        """Full per-block area breakdown."""
         return self.impl.area()
 
     def power_report(self, precision: Precision | None = None) -> "PowerReport":
+        """Full per-block power breakdown at ``precision``."""
         return self.impl.power(precision)
 
 
@@ -168,31 +210,42 @@ class NeuRexDevice(Device):
     supports_pruning = False
     supports_batching = True
     native_precision = Precision.INT16
+    # Dense INT16 pipeline: batching only amortizes weight refetch, not the
+    # (dominant) dense compute, so the marginal frame stays expensive.
+    batch_marginal_latency = 0.8
+    batch_marginal_energy = 0.9
 
     def __init__(self, config=None) -> None:
+        """Wrap a fresh :class:`~repro.baselines.neurex.NeuRex` model."""
         from repro.baselines.neurex import NeuRex
 
         self.impl = NeuRex(config)
         self.name = self.impl.name
 
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        """Simulate one frame; unsupported knobs are accepted and ignored."""
         return self.impl.render_frame(
             workload, precision=precision, pruning_ratio=pruning_ratio
         )
 
     def area_mm2(self) -> float:
+        """Total modelled chip area in mm^2."""
         return self.impl.area().total_mm2
 
     def power_w(self, precision: Precision | None = None) -> float:
+        """Total modelled power (NeuRex has a single INT16 operating point)."""
         return self.impl.power().total_w
 
     def power_profile(self) -> dict[str, float]:
+        """The single INT16 power figure, labelled for cost tables."""
         return {Precision.INT16.name: self.power_w()}
 
     def area_report(self) -> "AreaReport":
+        """Full per-block area breakdown."""
         return self.impl.area()
 
     def power_report(self, precision: Precision | None = None) -> "PowerReport":
+        """Full per-block power breakdown (precision is ignored)."""
         return self.impl.power()
 
 
@@ -206,8 +259,13 @@ class GPUDevice(Device):
     supports_pruning = False
     supports_batching = True
     native_precision = None
+    # CUDA kernels overlap poorly across frames; batching mostly saves
+    # per-launch overheads, a small fraction of a NeRF frame.
+    batch_marginal_latency = 0.9
+    batch_marginal_energy = 0.95
 
     def __init__(self, spec=None) -> None:
+        """Wrap the roofline model of ``spec`` (RTX 2080 Ti by default)."""
         from repro.baselines.gpu import GPUModel, RTX_2080_TI
 
         self.impl = GPUModel(spec or RTX_2080_TI)
@@ -215,6 +273,7 @@ class GPUDevice(Device):
         self.name = self.spec.name
 
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        """Simulate one FP32 frame; precision / pruning requests raise."""
         if precision is not None:
             raise UnsupportedKnobError(
                 f"{self.name} computes at FP32 only (requested {precision.name})"
@@ -227,9 +286,11 @@ class GPUDevice(Device):
         return self.impl.render_frame(workload)
 
     def area_mm2(self) -> float:
+        """Die area from the GPU's spec sheet."""
         return self.spec.area_mm2
 
     def power_w(self, precision: Precision | None = None) -> float:
+        """Typical board power from the GPU's spec sheet."""
         return self.spec.typical_power_w
 
 
@@ -258,6 +319,7 @@ class _UtilizationFrameDevice(Device):
     IDLE_POWER_FRACTION = 0.3
 
     def __init__(self, num_macs: int, frequency_hz: float, typical_power_w: float):
+        """Record the array's peak compute and power operating point."""
         from repro.hw.dram import LPDDR4_XAVIER
 
         self.num_macs = num_macs
@@ -271,9 +333,11 @@ class _UtilizationFrameDevice(Device):
 
     @property
     def peak_macs_per_s(self) -> float:
+        """Peak MAC throughput of the dense array."""
         return self.num_macs * self.frequency_hz
 
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
+        """Estimate one frame from per-op utilisation and DRAM transfer time."""
         from repro.core.accelerator import FrameReport
         from repro.nerf.workload import EncodingOp, GEMMOp, MiscOp, OpCategory
         from repro.sim.trace import ExecutionTrace, OpRecord
@@ -335,6 +399,7 @@ class _UtilizationFrameDevice(Device):
         )
 
     def power_w(self, precision: Precision | None = None) -> float:
+        """Typical power of the operating point (precision is fixed)."""
         return self.typical_power_w
 
 
@@ -350,6 +415,7 @@ class NVDLADevice(_UtilizationFrameDevice):
         frequency_hz: float = 1.0e9,
         typical_power_w: float = 2.5,
     ) -> None:
+        """Build the utilisation model for the configured NVDLA geometry."""
         from repro.baselines.nvdla import NVDLAModel
 
         self.impl = NVDLAModel(
@@ -363,6 +429,7 @@ class NVDLADevice(_UtilizationFrameDevice):
         )
 
     def gemm_utilization(self, op) -> float:
+        """Channel-parallel structural utilisation of one GEMM."""
         return self.impl.gemm_utilization(op.m, op.n, op.k)
 
 
@@ -378,6 +445,7 @@ class TPUDevice(_UtilizationFrameDevice):
         frequency_hz: float = 700e6,
         typical_power_w: float = 2.0,
     ) -> None:
+        """Build the utilisation model for the configured systolic grid."""
         from repro.baselines.tpu import TPUModel
 
         self.impl = TPUModel(rows=rows, cols=cols)
@@ -388,6 +456,7 @@ class TPUDevice(_UtilizationFrameDevice):
         )
 
     def gemm_utilization(self, op) -> float:
+        """Systolic-array structural utilisation of one GEMM."""
         # density=1.0: the dense schedule determines the cycle count.
         return self.impl.gemm_utilization(op.m, op.n, op.k, density=1.0)
 

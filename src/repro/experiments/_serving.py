@@ -1,0 +1,43 @@
+"""Shared fixtures for the serving experiments (`serve-*`).
+
+The three serving studies share one reference scenario mix so their numbers
+are comparable: a mostly-Instant-NGP request population at 400x400 with a
+dense TensoRF tail and one pruned low-precision scenario -- the kind of
+request FlexNeRFer's sparsity-aware datapath serves disproportionately
+faster, which is what makes heterogeneous routing interesting.
+"""
+
+from __future__ import annotations
+
+from repro.serve.request import Scenario, ScenarioMix
+from repro.sparse.formats import Precision
+
+#: The reference request population every serving experiment defaults to.
+REFERENCE_MIX = ScenarioMix(
+    scenarios=(
+        Scenario("instant-ngp", scene="lego", width=400, height=400),
+        Scenario(
+            "instant-ngp",
+            scene="mic",
+            width=400,
+            height=400,
+            precision=Precision.INT8,
+            pruning_ratio=0.5,
+        ),
+        Scenario("tensorf", scene="lego", width=400, height=400),
+    ),
+    weights=(2.0, 1.0, 1.0),
+)
+
+
+def parse_fleet(spec: str) -> tuple[str, ...]:
+    """Split a ``+``-separated fleet spec into device registry names.
+
+    ``"flexnerfer+neurex"`` -> ``("flexnerfer", "neurex")``.  The ``+``
+    separator (rather than a comma) lets fleet specs live inside repeated
+    comma-separated CLI parameters.
+    """
+    names = tuple(name.strip().lower() for name in spec.split("+") if name.strip())
+    if not names:
+        raise ValueError(f"empty fleet spec '{spec}'")
+    return names

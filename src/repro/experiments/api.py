@@ -49,6 +49,7 @@ from repro.sparse.formats import Precision
 #: Version stamped into every result's provenance (kept in sync with
 #: ``repro.__version__`` by a test; imported lazily to avoid cycles).
 def _repo_version() -> str:
+    """The package version stamped into result provenance."""
     from repro import __version__
 
     return __version__
@@ -62,6 +63,7 @@ class UnknownExperimentError(ExperimentError, KeyError):
     """An experiment id was not found in the registry."""
 
     def __init__(self, key: str, valid: Sequence[str]):
+        """Remember the unknown key and the valid ids for the message."""
         self.key = key
         self.valid = tuple(valid)
         super().__init__(f"unknown experiment '{key}'; valid ids: {', '.join(valid)}")
@@ -78,6 +80,7 @@ class BadParamError(ExperimentError, ValueError):
 
 
 def _parse_precision(text: str) -> Precision:
+    """Parse a precision mode from flag text ('int8', 'INT8', '8', ...)."""
     try:
         return Precision[text.upper().replace("-", "_")]
     except KeyError:
@@ -91,6 +94,7 @@ def _parse_precision(text: str) -> Precision:
 
 
 def _parse_bool(text: str) -> bool:
+    """Parse a boolean flag value ('1/true/yes/on' or '0/false/no/off')."""
     lowered = text.lower()
     if lowered in ("1", "true", "yes", "on"):
         return True
@@ -211,12 +215,14 @@ class Column:
     header_spec: str | None = None
 
     def cell(self, item: Any) -> Any:
+        """The raw cell value this column extracts from one row object."""
         if self.value is not None:
             return self.value(item)
         return getattr(item, self.key or self.header)
 
     @property
     def header_pad(self) -> str:
+        """Alignment + width spec applied to the header cell."""
         if self.header_spec is not None:
             return self.header_spec
         match = _PAD_RE.match(self.spec)
@@ -272,6 +278,7 @@ class Provenance:
     repo_version: str
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe provenance mapping."""
         return {
             "experiment_id": self.experiment_id,
             "params": self.params,
@@ -323,6 +330,7 @@ class ExperimentResult:
         return render_grid(generic, self.rows)
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping of the result (without ``raw``)."""
         return {
             "experiment_id": self.experiment_id,
             "title": self.title,
@@ -332,6 +340,7 @@ class ExperimentResult:
         }
 
     def to_json(self, indent: int = 2) -> str:
+        """The result as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent)
 
     def to_csv(self) -> str:
@@ -387,6 +396,7 @@ class Experiment:
     to_rows: Callable[[Any], list[dict[str, Any]]] | None = None
 
     def param(self, name: str) -> Param:
+        """Look up one of the experiment's typed parameters by name."""
         for param in self.params:
             if param.name == name:
                 return param
@@ -437,6 +447,7 @@ class Experiment:
         )
 
     def _bind_renderer(self) -> Callable[[ExperimentResult], str] | None:
+        """The table renderer a result of this experiment should carry."""
         if self.render is not None:
             return lambda result: self.render(result.raw)
         if self.columns is not None:

@@ -5,13 +5,16 @@ Usage::
     repro list [--tags frame-sim,hw-cost] [--format table|json]
     repro run <ids|tag:TAG|all> [--format table|json|csv] [--out DIR]
               [--jobs N] [per-experiment param flags]
+    repro docs [--out PATH] [--check]
 
 Examples::
 
     repro list --tags frame-sim
     repro run fig19 --models all --pruning-ratios 0,0.5,0.9
+    repro run tag:serving --format json
     repro run tag:hw-cost --format csv
     repro run all --format json --out artifacts/ --jobs 4
+    repro docs --check
 
 Every selected experiment's typed parameters are exposed as ``--flag value``
 options (``repro list --format json`` shows them); a flag applies to every
@@ -56,6 +59,9 @@ commands:
            --out DIR             write one artifact file per experiment
            --jobs N              run up to N experiments concurrently
            --<param> VALUE       any selected experiment's typed parameter
+  docs   regenerate the experiment catalog (docs/experiments.md)
+           --out PATH            where to write the catalog
+           --check               exit 1 if the checked-in catalog is stale
 
 run 'repro list' for the experiment ids and tags."""
 
@@ -76,12 +82,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_list(rest)
         if command == "run":
             return _cmd_run(rest)
+        if command == "docs":
+            return _cmd_docs(rest)
         # Historical invocation styles keep working: ``repro fig19``,
         # ``repro all`` behave like ``repro run ...``.
         if command == "all" or command.lower() in EXPERIMENTS:
             return _cmd_run(args)
         raise CLIError(
-            f"unknown command '{command}' (expected 'list' or 'run'); "
+            f"unknown command '{command}' (expected 'list', 'run' or 'docs'); "
             f"run 'repro --help' for usage"
         )
     except CLIError as exc:
@@ -151,6 +159,37 @@ def _describe(exp: Experiment) -> dict[str, Any]:
             for param in exp.params
         ],
     }
+
+
+# -- repro docs ---------------------------------------------------------------
+
+
+def _cmd_docs(args: list[str]) -> int:
+    """Regenerate (or, with ``--check``, verify) the experiment catalog."""
+    from repro.experiments.catalog import catalog_markdown, default_catalog_path
+
+    check = "--check" in args
+    args = [a for a in args if a != "--check"]
+    options = _parse_options(args, flags=("--out",))
+    path = Path(options["--out"]) if "--out" in options else default_catalog_path()
+    generated = catalog_markdown()
+    if check:
+        current = path.read_text() if path.exists() else None
+        if current != generated:
+            command = (
+                "repro docs" if "--out" not in options else f"repro docs --out {path}"
+            )
+            print(
+                f"error: {path} is stale; regenerate it with '{command}'",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generated)
+    print(f"wrote {path}")
+    return 0
 
 
 # -- repro run ----------------------------------------------------------------

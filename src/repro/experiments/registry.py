@@ -29,6 +29,9 @@ from repro.experiments import (  # noqa: F401
     fig20b_batch,
     ablation_noc,
     ablation_compression,
+    serve_latency_sla,
+    serve_fleet_mix,
+    serve_batch_policy,
 )
 from repro.experiments.api import (
     REGISTRY,

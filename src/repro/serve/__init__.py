@@ -1,0 +1,69 @@
+"""Serving simulation: request streams, scheduling policies, fleet metrics.
+
+This package extends the repository's frame-level models to the regime the
+ROADMAP targets -- heavy request traffic against a fleet of accelerators.
+It is a third layer on top of the existing two:
+
+1. *frame layer*: NeRF models build :class:`~repro.nerf.workload.Workload`
+   descriptors; :class:`~repro.core.device.Device` models estimate one
+   frame's latency / energy;
+2. *sweep layer*: :class:`~repro.sim.sweep.SweepEngine` caches frame
+   simulations across devices x models x knobs;
+3. *serving layer* (this package): :class:`RequestStream` generators produce
+   seeded arrival processes over a :class:`ScenarioMix`, a
+   :class:`Scheduler` policy assigns queued requests to fleet devices, and
+   the :class:`FleetSimulator` event loop turns cached frame reports into
+   :class:`ServingReport` metrics (p50/p95/p99 latency, goodput,
+   energy/request, per-device utilization).
+
+Everything is deterministic under a fixed seed; see ``docs/architecture.md``
+for the end-to-end data flow.
+"""
+
+from repro.serve.fleet import FleetSimulator
+from repro.serve.report import (
+    CompletedRequest,
+    ServingReport,
+    WorkerStats,
+    percentile,
+)
+from repro.serve.request import (
+    DiurnalStream,
+    PoissonStream,
+    Request,
+    RequestStream,
+    Scenario,
+    ScenarioMix,
+    TraceStream,
+)
+from repro.serve.scheduler import (
+    BatchDeadlineScheduler,
+    Dispatch,
+    FIFOScheduler,
+    Scheduler,
+    ServiceEstimate,
+    SparsityAwareScheduler,
+    Worker,
+)
+
+__all__ = [
+    "BatchDeadlineScheduler",
+    "CompletedRequest",
+    "DiurnalStream",
+    "Dispatch",
+    "FIFOScheduler",
+    "FleetSimulator",
+    "PoissonStream",
+    "Request",
+    "RequestStream",
+    "Scenario",
+    "ScenarioMix",
+    "Scheduler",
+    "ServiceEstimate",
+    "ServingReport",
+    "SparsityAwareScheduler",
+    "TraceStream",
+    "Worker",
+    "WorkerStats",
+    "percentile",
+]

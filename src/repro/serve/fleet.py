@@ -1,0 +1,204 @@
+"""Discrete-event fleet simulator driving the cached frame model.
+
+The :class:`FleetSimulator` closes the loop between the demand side
+(:mod:`repro.serve.request`), the policy side (:mod:`repro.serve.scheduler`)
+and the frame-level device models: it replays a request stream against a
+fleet of registered devices, asking the shared
+:class:`~repro.sim.sweep.SweepEngine` for every per-request service time.
+Because service estimates go through the engine's report cache, a stream of
+thousands of requests over a handful of scenarios performs a handful of
+frame simulations -- and those simulations are *bit-exact* the ones the
+paper's figures use, so serving results and figure results never drift
+apart.
+
+The event loop is deterministic: events are ordered by ``(time, kind,
+sequence number)``, all simultaneous events are drained before the
+scheduler runs,
+and no wall-clock or unseeded randomness is consulted anywhere.  The same
+stream + fleet + scheduler therefore produces an identical
+:class:`~repro.serve.report.ServingReport` on every run, every platform and
+every ``--jobs`` setting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Sequence
+
+from repro.serve.report import CompletedRequest, ServingReport
+from repro.serve.scheduler import (
+    Dispatch,
+    FIFOScheduler,
+    Scheduler,
+    ServiceEstimate,
+    Worker,
+)
+from repro.sim.sweep import SweepEngine, get_default_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.request import Request
+
+
+class _EventKind(enum.IntEnum):
+    """Event ordering at equal timestamps: arrivals, then completions, wakes."""
+
+    ARRIVAL = 0
+    COMPLETE = 1
+    WAKE = 2
+
+
+class FleetSimulator:
+    """Replay a request stream against a fleet of simulated devices.
+
+    ``devices`` are registry names (:data:`repro.core.device.DEVICE_REGISTRY`)
+    and may repeat -- ``("flexnerfer", "flexnerfer", "neurex")`` is a
+    three-chip fleet.  ``default_sla_s`` stamps a deadline onto requests that
+    do not carry one; ``engine`` defaults to the shared process-wide sweep
+    engine so serving runs reuse (and warm) the figures' report cache.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[str],
+        scheduler: Scheduler | None = None,
+        engine: SweepEngine | None = None,
+        default_sla_s: float | None = None,
+    ) -> None:
+        """Resolve the fleet's devices and bind the scheduler and engine."""
+        if not devices:
+            raise ValueError("a fleet needs at least one device")
+        self.engine = engine or get_default_engine()
+        self.scheduler = scheduler or FIFOScheduler()
+        self.default_sla_s = default_sla_s
+        # Devices are resolved (and validated) once; per-run Worker state is
+        # built fresh inside run(), so one simulator can serve many streams.
+        self._fleet = [
+            (name.lower(), self.engine.device(name)) for name in devices
+        ]
+
+    # -- service estimation ----------------------------------------------------
+
+    def estimate(self, request: "Request", worker: Worker) -> ServiceEstimate:
+        """Cached frame-model estimate of one request on one worker.
+
+        Unsupported knobs are collapsed by the device's capability flags
+        (exactly as in sweeps), so e.g. a pruned scenario estimated on
+        NeuRex reuses NeuRex's single dense simulation.
+        """
+        scenario = request.scenario
+        report = self.engine.frame_report(
+            worker.name,
+            scenario.model,
+            config=scenario.frame_config(),
+            precision=scenario.precision,
+            pruning_ratio=scenario.pruning_ratio,
+        )
+        return ServiceEstimate(latency_s=report.latency_s, energy_j=report.energy_j)
+
+    # -- the event loop --------------------------------------------------------
+
+    def run(self, requests: Sequence["Request"]) -> ServingReport:
+        """Simulate serving ``requests`` and aggregate a :class:`ServingReport`.
+
+        Worker state is per-run: calling ``run`` again on the same simulator
+        starts from an idle fleet (only the engine's caches persist).
+        """
+        workers = [
+            Worker(index=i, name=name, device=device)
+            for i, (name, device) in enumerate(self._fleet)
+        ]
+        seq = itertools.count()
+        # Heap entries are (time, kind, seq, payload): at equal timestamps
+        # arrivals order before completions before wakes, then by push order.
+        events: list[tuple[float, int, int, object]] = []
+        pending_arrivals = 0
+        for request in sorted(requests, key=lambda r: (r.arrival_s, r.request_id)):
+            if request.deadline_s is None and self.default_sla_s is not None:
+                request = dataclasses.replace(
+                    request, deadline_s=request.arrival_s + self.default_sla_s
+                )
+            heapq.heappush(
+                events,
+                (request.arrival_s, int(_EventKind.ARRIVAL), next(seq), request),
+            )
+            pending_arrivals += 1
+
+        queue: list["Request"] = []
+        completed: list[CompletedRequest] = []
+        scheduled_wakes: set[float] = set()
+
+        while events:
+            now = events[0][0]
+            # Drain every event at this timestamp before scheduling, so the
+            # policy sees a consistent snapshot of queue + idle devices.
+            while events and events[0][0] == now:
+                _, kind, _, payload = heapq.heappop(events)
+                if kind == int(_EventKind.ARRIVAL):
+                    queue.append(payload)
+                    pending_arrivals -= 1
+                elif kind == int(_EventKind.COMPLETE):
+                    completed.extend(payload)
+                else:  # WAKE: state already advanced, scheduling happens below
+                    scheduled_wakes.discard(now)
+
+            idle = [w for w in workers if w.busy_until_s <= now]
+            dispatches, wake = self.scheduler.assign(
+                now, queue, idle, self.estimate, draining=pending_arrivals == 0
+            )
+            for dispatch in dispatches:
+                finish, records = self._serve(now, dispatch)
+                heapq.heappush(
+                    events, (finish, int(_EventKind.COMPLETE), next(seq), records)
+                )
+            if wake is not None and wake > now and wake not in scheduled_wakes:
+                scheduled_wakes.add(wake)
+                heapq.heappush(events, (wake, int(_EventKind.WAKE), next(seq), None))
+            if not events and queue:
+                raise RuntimeError(
+                    f"scheduler '{self.scheduler.name}' stalled with "
+                    f"{len(queue)} queued requests and no pending events"
+                )
+
+        return ServingReport.from_completions(
+            scheduler=self.scheduler.name,
+            fleet=tuple(w.name for w in workers),
+            workers=workers,
+            completed=completed,
+            num_requests=len(requests),
+        )
+
+    def _serve(
+        self, now: float, dispatch: Dispatch
+    ) -> tuple[float, tuple[CompletedRequest, ...]]:
+        """Occupy the dispatch's worker and build its completion records."""
+        worker = dispatch.worker
+        if worker.busy_until_s > now:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"{worker.label} dispatched at {now} but busy until "
+                f"{worker.busy_until_s}"
+            )
+        per_frame = self.estimate(dispatch.requests[0], worker)
+        batch = len(dispatch.requests)
+        service_s = worker.device.service_time_s(per_frame.latency_s, batch)
+        energy_j = worker.device.service_energy_j(per_frame.energy_j, batch)
+        finish = now + service_s
+        worker.busy_until_s = finish
+        worker.busy_s += service_s
+        worker.energy_j += energy_j
+        worker.requests_served += batch
+        worker.batches_served += 1
+        records = tuple(
+            CompletedRequest(
+                request=request,
+                worker=worker.label,
+                start_s=now,
+                finish_s=finish,
+                batch_size=batch,
+                energy_j=energy_j / batch,
+            )
+            for request in dispatch.requests
+        )
+        return finish, records

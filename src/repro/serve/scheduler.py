@@ -1,0 +1,244 @@
+"""Pluggable scheduling policies for the fleet simulator.
+
+A scheduler decides, whenever the fleet's state changes (a request arrives,
+a device frees up, a hold timer fires), which queued requests to dispatch to
+which idle devices.  Three policies are provided:
+
+* :class:`FIFOScheduler` -- head-of-line request to the first idle device,
+  one request per dispatch: the baseline every serving paper compares
+  against;
+* :class:`SparsityAwareScheduler` -- routes each request to the idle device
+  with the smallest *estimated* service time for that request's scenario.
+  Estimates come from the same cached frame model the figures use, so the
+  router automatically prefers FlexNeRFer for pruned / low-precision
+  scenarios (where its sparsity wins compound) and spreads dense work onto
+  whatever is free;
+* :class:`BatchDeadlineScheduler` -- accumulates same-scenario requests into
+  batches and dispatches when the batch is full, the oldest request has
+  waited ``max_wait_s``, or its deadline would otherwise be missed.
+  Batching devices amortize per-frame setup via
+  :meth:`repro.core.device.Device.service_time_s`.
+
+Schedulers mutate the queue they are handed (removing the requests they
+dispatch) and may return a wake-up time so the event loop revisits a held
+batch even if nothing else happens.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.device import Device
+    from repro.serve.request import Request, Scenario
+
+
+@dataclass
+class Worker:
+    """One device instance of the fleet plus its running service statistics."""
+
+    index: int
+    name: str
+    device: "Device"
+    busy_until_s: float = 0.0
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+    requests_served: int = 0
+    batches_served: int = 0
+
+    @property
+    def label(self) -> str:
+        """Unique display name within the fleet, e.g. ``flexnerfer#0``."""
+        return f"{self.name}#{self.index}"
+
+
+@dataclass(frozen=True)
+class ServiceEstimate:
+    """Frame-model estimate of serving one request on one device."""
+
+    latency_s: float
+    energy_j: float
+
+
+#: ``estimate(request, worker)`` callback the fleet simulator provides; it is
+#: backed by the sweep engine's report cache, so repeated scenarios are free.
+EstimateFn = Callable[["Request", Worker], ServiceEstimate]
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One scheduling decision: a batch of same-scenario requests on a worker."""
+
+    worker: Worker
+    requests: tuple["Request", ...]
+
+    def __post_init__(self) -> None:
+        """Reject empty or mixed-scenario batches."""
+        if not self.requests:
+            raise ValueError("a dispatch needs at least one request")
+        scenarios = {r.scenario for r in self.requests}
+        if len(scenarios) != 1:
+            raise ValueError(f"a dispatch must share one scenario, got {scenarios}")
+
+    @property
+    def scenario(self) -> "Scenario":
+        """The scenario every request of the batch shares."""
+        return self.requests[0].scenario
+
+
+class Scheduler(abc.ABC):
+    """Policy interface: turn (queue, idle workers) into dispatches.
+
+    ``assign`` removes dispatched requests from ``queue`` in place and may
+    return a wake-up time (absolute seconds) at which it wants to be called
+    again even if no arrival / completion happens before then.
+    """
+
+    #: Policy name stamped into the serving report.
+    name: ClassVar[str] = "scheduler"
+
+    @abc.abstractmethod
+    def assign(
+        self,
+        now: float,
+        queue: list["Request"],
+        idle: list[Worker],
+        estimate: EstimateFn,
+        draining: bool,
+    ) -> tuple[list[Dispatch], float | None]:
+        """Decide dispatches at time ``now``; ``draining`` means no more arrivals."""
+
+
+class FIFOScheduler(Scheduler):
+    """First-come first-served, one request per device, fleet order."""
+
+    name = "fifo"
+
+    def assign(self, now, queue, idle, estimate, draining):
+        """Pair the head of the queue with idle workers in fleet order."""
+        dispatches = []
+        for worker in idle:
+            if not queue:
+                break
+            dispatches.append(Dispatch(worker, (queue.pop(0),)))
+        return dispatches, None
+
+
+class SparsityAwareScheduler(Scheduler):
+    """Route each request to the idle device that serves its scenario fastest.
+
+    Service-time estimates come from the cached frame model, so scenario
+    sparsity (empty-space skipping, pruning) and precision modes shift
+    routing exactly as they shift the paper's latency figures: pruned
+    INT4/INT8 scenarios land on FlexNeRFer, dense work fills the rest of
+    the fleet.
+    """
+
+    name = "sparsity-aware"
+
+    def assign(self, now, queue, idle, estimate, draining):
+        """Greedily match FIFO-ordered requests to their fastest idle device."""
+        free = list(idle)
+        dispatches = []
+        while queue and free:
+            request = queue.pop(0)
+            best = min(
+                free, key=lambda w: (estimate(request, w).latency_s, w.index)
+            )
+            free.remove(best)
+            dispatches.append(Dispatch(best, (request,)))
+        return dispatches, None
+
+
+@dataclass
+class BatchDeadlineScheduler(Scheduler):
+    """Batch same-scenario requests up to a size / wait / deadline bound.
+
+    A group of queued requests sharing one scenario is dispatched as soon as
+    any of these holds: the group reached ``max_batch``; its oldest request
+    has waited ``max_wait_s``; its oldest deadline leaves no slack beyond the
+    estimated service time; or the stream is draining (no further arrivals
+    to batch with).  Otherwise the group is held and a wake-up is requested.
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.05
+    name: ClassVar[str] = "batch-deadline"
+
+    def __post_init__(self) -> None:
+        """Validate batching bounds."""
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
+
+    def assign(self, now, queue, idle, estimate, draining):
+        """Dispatch ready scenario groups; hold (with a wake-up) the rest.
+
+        Readiness comparisons are written as ``now >= arrival + bound``
+        (never ``now - arrival >= bound``) so they are float-consistent
+        with the wake-up times this method returns: a wake scheduled at
+        ``arrival + bound`` is guaranteed to find its batch ready.
+        """
+        free = list(idle)
+        dispatches: list[Dispatch] = []
+        wake: float | None = None
+        dispatched: Counter[int] = Counter()
+        groups: dict["Scenario", list["Request"]] = {}
+        for request in queue:
+            groups.setdefault(request.scenario, []).append(request)
+        for group in groups.values():
+            index = 0
+            while free and index < len(group):
+                batch = group[index : index + self.max_batch]
+                oldest = batch[0]
+                worker = min(
+                    free, key=lambda w: (estimate(oldest, w).latency_s, w.index)
+                )
+                # Latest dispatch time that can still meet the batch's
+                # tightest deadline on the chosen worker, for the batch as
+                # currently formed (batched service, not single-frame
+                # latency).
+                deadlines = [
+                    r.deadline_s for r in batch if r.deadline_s is not None
+                ]
+                dispatch_by = (
+                    min(deadlines)
+                    - worker.device.service_time_s(
+                        estimate(oldest, worker).latency_s, len(batch)
+                    )
+                    if deadlines
+                    else None
+                )
+                ready = (
+                    len(batch) >= self.max_batch
+                    or now >= oldest.arrival_s + self.max_wait_s
+                    or (dispatch_by is not None and now >= dispatch_by)
+                    or draining
+                )
+                if not ready:
+                    # Both candidates are > now, or ready would have held.
+                    hold_until = oldest.arrival_s + self.max_wait_s
+                    if dispatch_by is not None:
+                        hold_until = min(hold_until, dispatch_by)
+                    wake = hold_until if wake is None else min(wake, hold_until)
+                    break  # the rest of this group is younger still
+                free.remove(worker)
+                dispatched.update(id(request) for request in batch)
+                dispatches.append(Dispatch(worker, tuple(batch)))
+                index += len(batch)
+        if dispatched:
+            # Remove exactly the dispatched occurrences (a multiset, so a
+            # request object appearing twice in the queue loses only the
+            # occurrences that were actually served).
+            remaining = []
+            for request in queue:
+                if dispatched.get(id(request), 0) > 0:
+                    dispatched[id(request)] -= 1
+                else:
+                    remaining.append(request)
+            queue[:] = remaining
+        return dispatches, wake

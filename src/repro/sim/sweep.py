@@ -78,6 +78,7 @@ class SweepSpec:
     base_config: FrameConfig = field(default_factory=FrameConfig)
 
     def resolve_config(self, scene: str | None, batch: int | None) -> FrameConfig:
+        """The base config with one sweep point's scene / batch substituted."""
         return replace(
             self.base_config,
             scene_name=scene or self.base_config.scene_name,
@@ -108,14 +109,17 @@ class SweepResult:
 
     @property
     def latency_s(self) -> float:
+        """Frame latency of this sweep point's report, in seconds."""
         return self.report.latency_s
 
     @property
     def energy_j(self) -> float:
+        """Frame energy of this sweep point's report, in joules."""
         return self.report.energy_j
 
     @property
     def fps(self) -> float:
+        """Frames per second implied by this sweep point's latency."""
         return self.report.fps
 
 
@@ -193,6 +197,7 @@ class SweepEngine:
         precision: Precision | None,
         pruning_ratio: float,
     ) -> ReportKey:
+        """Cache key of one simulation: device + workload + effective knobs."""
         device = self.device(device_name)
         return (
             device_name.lower(),
@@ -235,6 +240,7 @@ class SweepEngine:
     # -- sweep execution ------------------------------------------------------
 
     def _combos(self, spec: SweepSpec):
+        """The spec's cartesian sweep points, in declaration order."""
         return itertools.product(
             spec.devices,
             spec.models,

@@ -154,3 +154,63 @@ class TestRun:
             ]
 
         assert tables(parallel_out) == tables(serial_out)
+
+
+class TestDocs:
+    def test_writes_catalog(self, capsys, tmp_path):
+        target = tmp_path / "experiments.md"
+        code, out, _ = run_cli(capsys, "docs", "--out", str(target))
+        assert code == 0 and f"wrote {target}" in out
+        text = target.read_text()
+        assert "# Experiment catalog" in text
+        for exp_id in EXPERIMENTS:
+            assert f"`{exp_id}`" in text
+
+    def test_check_passes_on_fresh_catalog(self, capsys, tmp_path):
+        target = tmp_path / "experiments.md"
+        run_cli(capsys, "docs", "--out", str(target))
+        code, out, _ = run_cli(capsys, "docs", "--out", str(target), "--check")
+        assert code == 0
+        assert "up to date" in out
+
+    def test_check_fails_on_stale_catalog(self, capsys, tmp_path):
+        target = tmp_path / "experiments.md"
+        run_cli(capsys, "docs", "--out", str(target))
+        target.write_text(target.read_text() + "\ndrift\n")
+        code, _, err = run_cli(capsys, "docs", "--out", str(target), "--check")
+        assert code == 1
+        assert "stale" in err
+
+    def test_check_fails_when_catalog_missing(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "docs", "--out", str(tmp_path / "missing.md"), "--check"
+        )
+        assert code == 1 and "stale" in err
+
+    def test_checked_in_catalog_is_current(self, capsys):
+        """The repository's docs/experiments.md must match the registry."""
+        from pathlib import Path
+
+        from repro.experiments.catalog import CATALOG_PATH, catalog_markdown
+
+        repo_root = Path(__file__).resolve().parents[2]
+        checked_in = repo_root / CATALOG_PATH
+        assert checked_in.exists(), "docs/experiments.md missing; run 'repro docs'"
+        assert checked_in.read_text() == catalog_markdown(), (
+            "docs/experiments.md is stale; run 'repro docs' to regenerate"
+        )
+
+    def test_default_path_is_anchored_to_the_repo_not_cwd(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        from repro.experiments.catalog import CATALOG_PATH, default_catalog_path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        assert default_catalog_path() == repo_root / CATALOG_PATH
+        # The installed console script may run from anywhere.
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(capsys, "docs", "--check")
+        assert code == 0 and "up to date" in out
+        assert not (tmp_path / "docs").exists()

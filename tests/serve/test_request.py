@@ -1,0 +1,136 @@
+"""Tests for scenario mixes and the seeded request-stream generators."""
+
+import random
+
+import pytest
+
+from repro.serve.request import (
+    DiurnalStream,
+    PoissonStream,
+    Request,
+    Scenario,
+    ScenarioMix,
+    TraceStream,
+)
+from repro.sparse.formats import Precision
+
+MIX = ScenarioMix(
+    scenarios=(
+        Scenario("instant-ngp", scene="lego", width=200, height=200),
+        Scenario("tensorf", scene="mic", width=200, height=200),
+    ),
+    weights=(3.0, 1.0),
+)
+
+
+class TestScenario:
+    def test_frame_config_round_trip(self):
+        scenario = Scenario("instant-ngp", scene="mic", width=320, height=240)
+        config = scenario.frame_config(batch_size=2048)
+        assert (config.image_width, config.image_height) == (320, 240)
+        assert config.scene_name == "mic"
+        assert config.batch_size == 2048
+
+    def test_label_encodes_knobs(self):
+        scenario = Scenario(
+            "instant-ngp", precision=Precision.INT8, pruning_ratio=0.5
+        )
+        assert scenario.label == "instant-ngp/lego@400x400/INT8/p0.5"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("nerf", width=0)
+        with pytest.raises(ValueError):
+            Scenario("nerf", pruning_ratio=1.0)
+
+
+class TestScenarioMix:
+    def test_weights_must_match(self):
+        with pytest.raises(ValueError):
+            ScenarioMix(scenarios=MIX.scenarios, weights=(1.0,))
+        with pytest.raises(ValueError):
+            ScenarioMix(scenarios=(), weights=None)
+        with pytest.raises(ValueError):
+            ScenarioMix(scenarios=MIX.scenarios, weights=(1.0, 0.0))
+
+    def test_sampling_is_seed_deterministic(self):
+        draws_a = [MIX.sample(random.Random(7)) for _ in range(5)]
+        draws_b = [MIX.sample(random.Random(7)) for _ in range(5)]
+        assert draws_a == draws_b
+
+
+class TestPoissonStream:
+    def test_same_seed_same_stream(self):
+        stream = PoissonStream(50.0, 5.0, MIX, sla_s=0.1)
+        assert stream.generate(seed=3) == stream.generate(seed=3)
+        assert stream.generate(seed=3) != stream.generate(seed=4)
+
+    def test_arrival_times_ordered_and_bounded(self):
+        requests = PoissonStream(50.0, 5.0, MIX).generate(seed=0)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 5.0 for t in times)
+        # ~250 expected arrivals; allow generous slack.
+        assert 150 < len(requests) < 400
+
+    def test_sla_stamps_absolute_deadlines(self):
+        requests = PoissonStream(20.0, 2.0, MIX, sla_s=0.25).generate(seed=0)
+        assert all(r.deadline_s == r.arrival_s + 0.25 for r in requests)
+        no_sla = PoissonStream(20.0, 2.0, MIX).generate(seed=0)
+        assert all(r.deadline_s is None for r in no_sla)
+
+    def test_request_ids_are_sequential(self):
+        requests = PoissonStream(30.0, 2.0, MIX).generate(seed=1)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonStream(0.0, 5.0, MIX)
+        with pytest.raises(ValueError):
+            PoissonStream(10.0, 5.0, MIX, sla_s=0.0)
+
+
+class TestDiurnalStream:
+    def test_rate_envelope(self):
+        stream = DiurnalStream(5.0, 30.0, period_s=20.0, duration_s=40.0, mix=MIX)
+        assert stream.rate_at(0.0) == pytest.approx(5.0)
+        assert stream.rate_at(10.0) == pytest.approx(30.0)  # mid-period peak
+        assert stream.rate_at(20.0) == pytest.approx(5.0)
+
+    def test_peak_half_sees_more_arrivals_than_trough_half(self):
+        stream = DiurnalStream(2.0, 40.0, period_s=40.0, duration_s=40.0, mix=MIX)
+        requests = stream.generate(seed=0)
+        mid = [r for r in requests if 10.0 <= r.arrival_s < 30.0]
+        edges = [r for r in requests if r.arrival_s < 10.0 or r.arrival_s >= 30.0]
+        assert len(mid) > 2 * len(edges)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalStream(10.0, 5.0, period_s=20.0, duration_s=40.0, mix=MIX)
+
+
+class TestTraceStream:
+    def test_replays_times_and_scenarios(self):
+        scenarios = (MIX.scenarios[1], MIX.scenarios[0], MIX.scenarios[1])
+        stream = TraceStream((0.0, 0.5, 0.5), MIX, scenarios=scenarios)
+        requests = stream.generate(seed=9)
+        assert [r.arrival_s for r in requests] == [0.0, 0.5, 0.5]
+        assert tuple(r.scenario for r in requests) == scenarios
+
+    def test_mix_sampling_when_no_scenarios_given(self):
+        requests = TraceStream((0.0, 0.1, 0.2), MIX).generate(seed=2)
+        assert all(r.scenario in MIX.scenarios for r in requests)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceStream((1.0, 0.5), MIX)
+        with pytest.raises(ValueError):
+            TraceStream((-0.1,), MIX)
+        with pytest.raises(ValueError):
+            TraceStream((0.0, 0.1), MIX, scenarios=(MIX.scenarios[0],))
+
+
+def test_requests_are_immutable_records():
+    request = Request(0, 0.0, MIX.scenarios[0])
+    with pytest.raises(AttributeError):
+        request.arrival_s = 1.0

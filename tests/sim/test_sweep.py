@@ -219,3 +219,67 @@ class TestFig19Parity:
         )
         assert engine.stats.render_calls == calls
         assert again == points
+
+
+class TestProcessPoolPath:
+    """The process-pool prefill must be bit-exact and cache-coherent."""
+
+    SPEC = SweepSpec(
+        devices=("flexnerfer", "neurex", "tpu"),
+        models=("nerf", "instant-ngp"),
+        precisions=(Precision.INT16, Precision.INT8),
+        pruning_ratios=(0.0, 0.5),
+        base_config=SMALL_CONFIG,
+    )
+
+    def test_pool_prefill_matches_serial_bit_exactly(self):
+        serial_engine = SweepEngine()
+        serial = serial_engine.run(self.SPEC)
+        pool_engine = SweepEngine(max_workers=2)
+        pooled = pool_engine.run(self.SPEC)
+        assert len(serial) == len(pooled)
+        for a, b in zip(serial, pooled):
+            assert (a.device, a.model, a.precision, a.pruning_ratio) == (
+                b.device, b.model, b.precision, b.pruning_ratio,
+            )
+            # Bit-exact, not approximate: the workers run the same pure
+            # analytical model on the same workload.
+            assert a.latency_s == b.latency_s
+            assert a.energy_j == b.energy_j
+            assert a.report.trace.total_time_s == b.report.trace.total_time_s
+
+    def test_pool_cache_hit_accounting_matches_serial(self):
+        serial_engine = SweepEngine()
+        serial_engine.run(self.SPEC)
+        pool_engine = SweepEngine(max_workers=2)
+        pool_engine.run(self.SPEC)
+        # Unique cache keys: flexnerfer 2 models x 2 precisions x 2 pruning
+        # = 8; neurex and tpu collapse both knobs = 2 each.
+        assert serial_engine.stats.render_calls == 12
+        assert pool_engine.stats.render_calls == 12
+        # Every remaining requested point is served from cache either way.
+        assert pool_engine.stats.report_hits == serial_engine.stats.report_hits
+        assert pool_engine.stats.report_hits == 24 - 12
+
+    def test_second_pool_run_is_pure_cache(self):
+        pool_engine = SweepEngine(max_workers=2)
+        first = pool_engine.run(self.SPEC)
+        calls = pool_engine.stats.render_calls
+        second = pool_engine.run(self.SPEC)
+        assert pool_engine.stats.render_calls == calls
+        for a, b in zip(first, second):
+            assert a.report is b.report
+
+    def test_pool_and_serial_engines_agree_on_frame_report_path(self):
+        pool_engine = SweepEngine(max_workers=2)
+        pool_engine.run(self.SPEC)
+        # A follow-up single-point query hits the prefetched cache.
+        report = pool_engine.frame_report(
+            "flexnerfer", "nerf", config=SMALL_CONFIG, precision=Precision.INT8
+        )
+        assert pool_engine.stats.render_calls == 12
+        serial = SweepEngine().frame_report(
+            "flexnerfer", "nerf", config=SMALL_CONFIG, precision=Precision.INT8
+        )
+        assert report.latency_s == serial.latency_s
+        assert report.energy_j == serial.energy_j
