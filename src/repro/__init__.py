@@ -19,6 +19,9 @@ Public API overview
 * :mod:`repro.serve` -- the serving layer: request streams, scheduling
   policies, the :class:`~repro.serve.fleet.FleetSimulator` event loop and
   fleet-level :class:`~repro.serve.report.ServingReport` metrics.
+* :mod:`repro.perf` -- the persistent content-addressed result store the
+  sweep engine reads through, and the ``repro bench`` measurement harness
+  (``BENCH_<rev>.json`` trajectory points).
 * :mod:`repro.experiments` -- one module per paper table/figure plus the
   ``serve-*`` serving studies.
 """
@@ -28,7 +31,7 @@ from repro.core.device import DEVICE_REGISTRY, Device, get_device
 from repro.sim.sweep import SweepEngine, SweepSpec, get_default_engine
 from repro.sparse.formats import Precision, SparsityFormat
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FlexNeRFer",

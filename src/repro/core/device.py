@@ -29,7 +29,11 @@ Fig. 19).  Baseline imports happen lazily inside the adapters so that
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, ClassVar
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, TYPE_CHECKING, Callable, ClassVar
 
 from repro.sparse.formats import Precision
 
@@ -41,6 +45,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class UnsupportedKnobError(ValueError):
     """A device was asked for a knob (precision / pruning) it cannot honour."""
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-safe canonical form of fingerprint state (dataclasses, enums)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": type(value).__qualname__,
+            **{
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def canonical_digest(value: Any) -> str:
+    """SHA-1 hex digest of ``value``'s canonical JSON representation.
+
+    Raises TypeError for values :func:`_canonical` cannot make
+    deterministic (sets, arbitrary objects): a silent ``repr`` fallback
+    would embed memory addresses or hash-randomized orderings and make
+    fingerprints differ on every interpreter start, which the persistent
+    result store could never recover from.
+    """
+    payload = json.dumps(_canonical(value), sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()
 
 
 #: Precision modes a precision-scalable device is swept over by default.
@@ -93,6 +129,42 @@ class Device(abc.ABC):
     def effective_pruning(self, pruning_ratio: float) -> float:
         """The pruning ratio that actually reaches the device's datapath."""
         return pruning_ratio if self.supports_pruning else 0.0
+
+    # -- content-addressable identity ------------------------------------------
+
+    def _fingerprint_state(self) -> dict[str, Any]:
+        """Model parameters that change this device's simulated behaviour.
+
+        Adapters override this with everything their frame estimates depend
+        on (configs, specs, array geometry); the base contribution covers
+        the protocol-level knobs.  Values must be JSON-canonicalizable
+        (scalars, enums, dataclasses, nested containers).
+        """
+        return {}
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the device's modelled behaviour.
+
+        Two device instances with the same fingerprint are promised to
+        produce bit-identical :class:`FrameReport` objects for identical
+        workloads, which is what lets the persistent result store
+        (:mod:`repro.perf.store`) key simulations on it.  Any constructor
+        parameter that alters latency / energy must feed
+        :meth:`_fingerprint_state` so edits invalidate stored entries.
+        """
+        return canonical_digest(
+            {
+                "class": type(self).__qualname__,
+                "name": self.name,
+                "supports_precision": self.supports_precision,
+                "supports_pruning": self.supports_pruning,
+                "supports_batching": self.supports_batching,
+                "native_precision": self.native_precision,
+                "batch_marginal_latency": self.batch_marginal_latency,
+                "batch_marginal_energy": self.batch_marginal_energy,
+                "state": self._fingerprint_state(),
+            }
+        )
 
     # -- serving hooks ---------------------------------------------------------
 
@@ -168,6 +240,10 @@ class FlexNeRFerDevice(Device):
         """Default the precision knob to the config's precision mode."""
         return precision or self.impl.config.default_precision
 
+    def _fingerprint_state(self) -> dict:
+        """The full accelerator config (array, buffers, DRAM, overheads)."""
+        return {"config": self.impl.config}
+
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
         """Simulate one frame on the accelerator at the requested knobs."""
         return self.impl.render_frame(
@@ -222,6 +298,10 @@ class NeuRexDevice(Device):
         self.impl = NeuRex(config)
         self.name = self.impl.name
 
+    def _fingerprint_state(self) -> dict:
+        """The NeuRex config (array geometry, encoding engine, DRAM)."""
+        return {"config": self.impl.config}
+
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
         """Simulate one frame; unsupported knobs are accepted and ignored."""
         return self.impl.render_frame(
@@ -271,6 +351,10 @@ class GPUDevice(Device):
         self.impl = GPUModel(spec or RTX_2080_TI)
         self.spec = self.impl.spec
         self.name = self.spec.name
+
+    def _fingerprint_state(self) -> dict:
+        """The GPU spec sheet (peak FLOPS, power, memory interface)."""
+        return {"spec": self.spec}
 
     def render_frame(self, workload, *, precision=None, pruning_ratio=0.0):
         """Simulate one FP32 frame; precision / pruning requests raise."""
@@ -326,6 +410,18 @@ class _UtilizationFrameDevice(Device):
         self.frequency_hz = frequency_hz
         self.typical_power_w = typical_power_w
         self.dram = LPDDR4_XAVIER
+
+    def _fingerprint_state(self) -> dict:
+        """Array operating point plus the utilisation model's geometry."""
+        return {
+            "impl": self.impl,
+            "num_macs": self.num_macs,
+            "frequency_hz": self.frequency_hz,
+            "typical_power_w": self.typical_power_w,
+            "dram": self.dram,
+            "fallback_fraction": self.FALLBACK_THROUGHPUT_FRACTION,
+            "idle_power_fraction": self.IDLE_POWER_FRACTION,
+        }
 
     def gemm_utilization(self, op) -> float:
         """Structural MAC utilisation for one GEMM (zeros still scheduled)."""

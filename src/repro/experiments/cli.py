@@ -1,32 +1,47 @@
-"""The ``repro`` command line: list and run experiments uniformly.
+"""The ``repro`` command line: list, run, benchmark and cache-manage.
 
 Usage::
 
     repro list [--tags frame-sim,hw-cost] [--format table|json]
     repro run <ids|tag:TAG|all> [--format table|json|csv] [--out DIR]
-              [--jobs N] [per-experiment param flags]
+              [--jobs N] [--no-store] [per-experiment param flags]
     repro docs [--out PATH] [--check]
+    repro bench [--quick] [--out PATH] [--validate PATH]
+    repro cache <stats|clear|evict> [--dir PATH] [--format table|json]
+                [--max-entries N] [--max-age-days D]
 
 Examples::
 
     repro list --tags frame-sim
     repro run fig19 --models all --pruning-ratios 0,0.5,0.9
     repro run tag:serving --format json
-    repro run tag:hw-cost --format csv
     repro run all --format json --out artifacts/ --jobs 4
+    repro run all --no-store          # force cold, bypass the result store
     repro docs --check
+    repro bench --quick --out bench/  # emit a BENCH_<rev>.json smoke point
+    repro cache stats --format json
+    repro cache evict --max-entries 5000
 
 Every selected experiment's typed parameters are exposed as ``--flag value``
 options (``repro list --format json`` shows them); a flag applies to every
 selected experiment declaring that parameter.  Unknown experiment ids,
 unknown tags and malformed parameter values exit with status 2 and a
 one-line message -- never a traceback.
+
+``repro run`` reads and writes the persistent result store
+(:mod:`repro.perf.store`) by default, so re-runs with an unchanged
+simulation model skip cycle-level simulation entirely; ``--no-store``
+bypasses it.  The command surface below is described declaratively by
+:data:`COMMANDS`, which both this usage text and the generated
+``docs/experiments.md`` catalog render, so ``repro docs --check`` guards
+the documented CLI against drift.
 """
 
 from __future__ import annotations
 
 import sys
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence, TextIO
 
@@ -46,24 +61,101 @@ from repro.experiments.registry import (
 RUN_FORMATS = ("table", "json", "csv")
 LIST_FORMATS = ("table", "json")
 
-_USAGE = """\
-usage: repro <command> [options]
 
-commands:
-  list   list registered experiments
-           --tags TAG[,TAG]      only experiments carrying any given tag
-           --format table|json   json includes the typed parameter schemas
-  run    run experiments and render / write their results
-           selectors             experiment ids, tag:TAG groups, or 'all'
-           --format table|json|csv
-           --out DIR             write one artifact file per experiment
-           --jobs N              run up to N experiments concurrently
-           --<param> VALUE       any selected experiment's typed parameter
-  docs   regenerate the experiment catalog (docs/experiments.md)
-           --out PATH            where to write the catalog
-           --check               exit 1 if the checked-in catalog is stale
+@dataclass(frozen=True)
+class CommandOption:
+    """One documented option of a CLI command (usage + generated catalog)."""
 
-run 'repro list' for the experiment ids and tags."""
+    flag: str
+    value: str
+    help: str
+
+    @property
+    def syntax(self) -> str:
+        """The option as written on a command line, e.g. ``--jobs N``."""
+        return f"{self.flag} {self.value}".strip()
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One ``repro`` subcommand: name, operands, summary and options.
+
+    The usage screen and the CLI section of the generated experiment
+    catalog are both rendered from these specs, so the documented command
+    surface cannot drift from the implemented one without failing
+    ``repro docs --check``.
+    """
+
+    name: str
+    summary: str
+    operands: tuple[tuple[str, str], ...] = ()
+    options: tuple[CommandOption, ...] = ()
+
+
+#: The documented ``repro`` command surface, in help order.
+COMMANDS: tuple[CommandSpec, ...] = (
+    CommandSpec(
+        "list",
+        "list registered experiments",
+        options=(
+            CommandOption("--tags", "TAG[,TAG]", "only experiments carrying any given tag"),
+            CommandOption("--format", "table|json", "json includes the typed parameter schemas"),
+        ),
+    ),
+    CommandSpec(
+        "run",
+        "run experiments and render / write their results",
+        operands=(("selectors", "experiment ids, tag:TAG groups, or 'all'"),),
+        options=(
+            CommandOption("--format", "table|json|csv", "output rendering"),
+            CommandOption("--out", "DIR", "write one artifact file per experiment"),
+            CommandOption("--jobs", "N", "run up to N experiments concurrently"),
+            CommandOption("--no-store", "", "bypass the persistent result store (force cold simulation)"),
+            CommandOption("--<param>", "VALUE", "any selected experiment's typed parameter"),
+        ),
+    ),
+    CommandSpec(
+        "docs",
+        "regenerate the experiment catalog (docs/experiments.md)",
+        options=(
+            CommandOption("--out", "PATH", "where to write the catalog"),
+            CommandOption("--check", "", "exit 1 if the checked-in catalog is stale"),
+        ),
+    ),
+    CommandSpec(
+        "bench",
+        "measure a BENCH_<rev>.json performance trajectory point",
+        options=(
+            CommandOption("--quick", "", "CI-smoke footprint (small sweep, 3 experiments)"),
+            CommandOption("--out", "PATH", "output file or directory (default: checkout root)"),
+            CommandOption("--validate", "PATH", "schema-check an existing BENCH file instead of measuring"),
+        ),
+    ),
+    CommandSpec(
+        "cache",
+        "inspect or prune the persistent result store",
+        operands=(("action", "stats | clear | evict"),),
+        options=(
+            CommandOption("--dir", "PATH", "store directory (default: $REPRO_STORE_DIR or .repro-store)"),
+            CommandOption("--format", "table|json", "stats output rendering"),
+            CommandOption("--max-entries", "N", "evict: keep at most N newest entries"),
+            CommandOption("--max-age-days", "D", "evict: drop entries older than D days"),
+        ),
+    ),
+)
+
+
+def _usage() -> str:
+    """The usage screen, rendered from :data:`COMMANDS`."""
+    lines = ["usage: repro <command> [options]", "", "commands:"]
+    for spec in COMMANDS:
+        lines.append(f"  {spec.name:<6} {spec.summary}")
+        for name, help_text in spec.operands:
+            lines.append(f"           {name:<21} {help_text}")
+        for option in spec.options:
+            lines.append(f"           {option.syntax:<21} {option.help}".rstrip())
+    lines += ["", "run 'repro list' for the experiment ids and tags."]
+    return "\n".join(lines)
 
 
 class CLIError(Exception):
@@ -75,7 +167,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     try:
         if not args or args[0] in ("-h", "--help", "help"):
-            print(_USAGE)
+            print(_usage())
             return 0
         command, rest = args[0], args[1:]
         if command == "list":
@@ -84,12 +176,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(rest)
         if command == "docs":
             return _cmd_docs(rest)
+        if command == "bench":
+            return _cmd_bench(rest)
+        if command == "cache":
+            return _cmd_cache(rest)
         # Historical invocation styles keep working: ``repro fig19``,
         # ``repro all`` behave like ``repro run ...``.
         if command == "all" or command.lower() in EXPERIMENTS:
             return _cmd_run(args)
+        known = ", ".join(f"'{spec.name}'" for spec in COMMANDS)
         raise CLIError(
-            f"unknown command '{command}' (expected 'list', 'run' or 'docs'); "
+            f"unknown command '{command}' (expected one of {known}); "
             f"run 'repro --help' for usage"
         )
     except CLIError as exc:
@@ -192,17 +289,161 @@ def _cmd_docs(args: list[str]) -> int:
     return 0
 
 
+# -- repro bench --------------------------------------------------------------
+
+
+def _cmd_bench(args: list[str]) -> int:
+    """Measure (or, with ``--validate``, schema-check) a BENCH document."""
+    import json
+
+    from repro.perf.bench import run_bench, validate_bench, write_bench
+
+    quick = "--quick" in args
+    args = [a for a in args if a != "--quick"]
+    options = _parse_options(args, flags=("--out", "--validate"))
+    if "--validate" in options:
+        path = Path(options["--validate"])
+        try:
+            document = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise CLIError(f"no such BENCH file: {path}") from None
+        except OSError as exc:
+            raise CLIError(f"cannot read BENCH file {path}: {exc}") from None
+        except ValueError as exc:
+            raise CLIError(f"{path} is not valid JSON: {exc}") from None
+        problems = validate_bench(document)
+        if problems:
+            for problem in problems:
+                print(f"error: {path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{path} conforms to bench schema v{document['schema_version']}")
+        return 0
+    document = run_bench(quick=quick)
+    problems = validate_bench(document)
+    if problems:  # pragma: no cover - emitter/schema drift is a bug
+        raise CLIError(f"emitted document fails its own schema: {problems[0]}")
+    path = write_bench(
+        document, Path(options["--out"]) if "--out" in options else None
+    )
+    sweep = document["sweep"]
+    print(f"wrote {path}")
+    print(
+        f"sweep: cold {sweep['cold_s']:.2f}s -> warm-store "
+        f"{sweep['warm_store_s']:.2f}s ({sweep['warm_store_speedup']:.1f}x, "
+        f"{sweep['warm_store_render_calls']} renders)"
+    )
+    serving = document["serving"]
+    print(
+        f"serving: {serving['requests_per_wall_s']:.0f} requests/s simulated "
+        f"({serving['time_compression']:.0f}x time compression)"
+    )
+    return 0
+
+
+# -- repro cache --------------------------------------------------------------
+
+
+def _cmd_cache(args: list[str]) -> int:
+    """Inspect or prune the persistent result store."""
+    from repro.perf.store import ResultStore
+
+    # Each action accepts exactly its own flags, so e.g. a `clear` carrying
+    # an ignored eviction bound is rejected instead of wiping the store.
+    action_flags = {
+        "stats": ("--dir", "--format"),
+        "clear": ("--dir",),
+        "evict": ("--dir", "--max-entries", "--max-age-days"),
+    }
+    if not args or args[0].startswith("--"):
+        raise CLIError(f"cache needs an action: {' | '.join(action_flags)}")
+    action, rest = args[0], args[1:]
+    if action not in action_flags:
+        raise CLIError(
+            f"unknown cache action '{action}'; valid: {', '.join(action_flags)}"
+        )
+    options = _parse_options(rest, flags=action_flags[action])
+    store = (
+        ResultStore(Path(options["--dir"]))
+        if "--dir" in options
+        else ResultStore.default()
+    )
+    fmt = options.get("--format", "table")
+    if fmt not in LIST_FORMATS:
+        raise CLIError(
+            f"invalid cache format '{fmt}'; valid: {', '.join(LIST_FORMATS)}"
+        )
+    if action == "stats":
+        stats = store.stats()
+        if fmt == "json":
+            import json
+
+            print(json.dumps(stats.to_dict(), indent=2))
+        else:
+            print(f"store:          {stats.root}")
+            print(f"schema version: v{stats.schema_version}")
+            print(f"entries:        {stats.entries}")
+            print(f"stale entries:  {stats.stale_entries} (other schema versions)")
+            print(f"size:           {stats.total_bytes / 1e6:.2f} MB")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    max_entries = None
+    if "--max-entries" in options:
+        try:
+            max_entries = int(options["--max-entries"])
+        except ValueError:
+            raise CLIError(
+                f"--max-entries: invalid int '{options['--max-entries']}'"
+            ) from None
+        if max_entries < 0:
+            raise CLIError("--max-entries must be >= 0")
+    max_age_s = None
+    if "--max-age-days" in options:
+        try:
+            max_age_s = float(options["--max-age-days"]) * 86400.0
+        except ValueError:
+            raise CLIError(
+                f"--max-age-days: invalid number '{options['--max-age-days']}'"
+            ) from None
+        if max_age_s < 0:
+            raise CLIError("--max-age-days must be >= 0")
+    removed = store.evict(max_entries=max_entries, max_age_s=max_age_s)
+    print(f"evicted {removed} entries from {store.root}")
+    return 0
+
+
 # -- repro run ----------------------------------------------------------------
+
+
+def _configure_store(no_store: bool) -> None:
+    """Attach (or detach, with ``--no-store``) the default persistent store.
+
+    The store rides on the shared process-wide engine, so serving
+    experiments and figure sweeps read through the same cache the previous
+    ``repro run`` populated.
+    """
+    from repro.perf.store import ResultStore
+    from repro.sim.sweep import get_default_engine
+
+    get_default_engine().attach_store(
+        None if no_store else ResultStore.default()
+    )
 
 
 def _cmd_run(args: list[str]) -> int:
     selectors: list[str] = []
     options: dict[str, str] = {}
     param_tokens: list[tuple[str, str]] = []
+    no_store = False
     i = 0
     while i < len(args):
         token = args[i]
-        if token.startswith("--"):
+        if token == "--no-store":
+            no_store = True
+            i += 1
+        elif token.startswith("--"):
             flag, value, consumed = _flag_value(args, i)
             if flag in ("--format", "--out", "--jobs"):
                 options[flag] = value
@@ -220,6 +461,7 @@ def _cmd_run(args: list[str]) -> int:
         raise CLIError(f"invalid format '{fmt}'; valid: {', '.join(RUN_FORMATS)}")
     jobs = _parse_jobs(options.get("--jobs", "1"))
     out_dir = Path(options["--out"]) if "--out" in options else None
+    _configure_store(no_store)
 
     experiments = _select(selectors)
     overrides = _resolve_param_flags(param_tokens, experiments)
@@ -296,6 +538,42 @@ def _resolve_param_flags(
     return overrides
 
 
+def _result_store():
+    """The persistent store attached to the shared engine (None when off)."""
+    from repro.sim.sweep import get_default_engine
+
+    return get_default_engine().store
+
+
+def _experiment_key(exp: Experiment, overrides: dict[str, Any]):
+    """Content address of one experiment invocation, or None on bad params."""
+    from repro.experiments.api import config_fingerprint
+    from repro.perf.store import ExperimentResultKey, environment_digest
+
+    values = exp.resolve_params(overrides)
+    params_json = {p.name: p.to_json(values[p.name]) for p in exp.params}
+    return ExperimentResultKey(
+        experiment_id=exp.id,
+        params_fingerprint=config_fingerprint(exp.id, params_json),
+        environment_digest=environment_digest(),
+    )
+
+
+def _cached_result(exp: Experiment, payload: dict[str, Any]) -> ExperimentResult:
+    """Rebuild a byte-identical :class:`ExperimentResult` from a store payload.
+
+    The rendered table was persisted verbatim, so ``to_table`` (including
+    custom renderers over ``raw``, which is not serializable) reproduces
+    the cold run's bytes; provenance keeps the *producing* run's wall time.
+    """
+    import dataclasses
+    import json
+
+    table = payload["table"]
+    result = ExperimentResult.from_json(json.dumps(payload["result"]))
+    return dataclasses.replace(result, _renderer=lambda _result: table)
+
+
 def run_many(
     experiments: list[Experiment],
     overrides: dict[str, dict[str, Any]] | None = None,
@@ -306,12 +584,39 @@ def run_many(
     Results are deterministic regardless of ``jobs``: experiments share the
     process-wide cached sweep engine, whose caches are thread-safe, and every
     experiment's output depends only on its own parameters.
+
+    When the shared engine carries a persistent store, whole results are
+    cached through it (:class:`repro.perf.store.ExperimentResultKey`): a
+    warm invocation replays the serialized result -- rendered table
+    included, so output is byte-identical -- without re-running the
+    experiment at all.  Any device-model or NeRF-descriptor edit,
+    parameter change, version bump or store-schema bump invalidates the
+    entry.
     """
     overrides = overrides or {}
+    store = _result_store()
 
     def one(exp: Experiment) -> ExperimentResult:
         try:
-            return exp.run(**overrides.get(exp.id, {}))
+            key = (
+                _experiment_key(exp, overrides.get(exp.id, {}))
+                if store is not None
+                else None
+            )
+            if key is not None:
+                payload = store.get_result(key)
+                if payload is not None:
+                    try:
+                        return _cached_result(exp, payload)
+                    except (KeyError, TypeError, ValueError):
+                        pass  # malformed payload: fall through and re-run
+            result = exp.run(**overrides.get(exp.id, {}))
+            if key is not None:
+                store.put_result(
+                    key,
+                    {"result": result.to_dict(), "table": result.to_table()},
+                )
+            return result
         except (ValueError, KeyError) as exc:
             # Domain errors on user-supplied values (e.g. an unknown scene or
             # a non-positive array dimension) surface as one-line CLI errors,

@@ -1,0 +1,39 @@
+"""Performance infrastructure: the persistent result store and the bench harness.
+
+Two concerns live here, both documented in ``docs/performance.md``:
+
+* :mod:`repro.perf.store` -- a content-addressed on-disk cache of frame
+  simulations, keyed by (device fingerprint, workload digest, effective
+  knobs, store schema version).  The :class:`~repro.sim.sweep.SweepEngine`
+  reads through it transparently, so a warm ``repro run all`` (and every
+  :class:`~repro.serve.fleet.FleetSimulator` study) skips cycle-level
+  simulation entirely.
+* :mod:`repro.perf.bench` -- the ``repro bench`` measurement harness: cold
+  vs. warm sweep timing, per-experiment wall time, fleet-simulator
+  throughput and hot-path microbenchmarks, emitted as a schema-versioned
+  ``BENCH_<rev>.json`` trajectory point.
+"""
+
+from repro.perf.store import (
+    STORE_SCHEMA_VERSION,
+    ExperimentResultKey,
+    ResultStore,
+    StoreKey,
+    device_registry_digest,
+    environment_digest,
+    model_registry_digest,
+)
+from repro.perf.bench import BENCH_SCHEMA_VERSION, run_bench, validate_bench
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ExperimentResultKey",
+    "ResultStore",
+    "StoreKey",
+    "device_registry_digest",
+    "environment_digest",
+    "model_registry_digest",
+    "BENCH_SCHEMA_VERSION",
+    "run_bench",
+    "validate_bench",
+]

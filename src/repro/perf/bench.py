@@ -1,0 +1,421 @@
+"""The ``repro bench`` harness: measured performance trajectory points.
+
+Every invocation produces one schema-versioned JSON document
+(``BENCH_<rev>.json``) with four measured sections:
+
+* ``sweep`` -- one reference device x model x precision x pruning sweep
+  timed three ways: **cold** (fresh engine, empty store, simulate + write
+  back), **warm_memory** (same engine re-run, in-memory cache only) and
+  **warm_store** (fresh engine reading a populated store, zero renders);
+* ``experiments`` -- per-experiment wall time, in registry order on the
+  shared engine, exactly like ``repro run all``;
+* ``serving`` -- :class:`~repro.serve.fleet.FleetSimulator` throughput on
+  the reference scenario mix (requests simulated per wall-clock second);
+* ``hot_path`` -- microbenchmarks of the memoised cycle-model hot paths
+  (:func:`repro.sim.tiling.tile_counts`,
+  :func:`repro.sim.memory.stored_operand_bytes`) against their uncached
+  originals, quantifying the optimization the store cannot see.
+
+``--quick`` shrinks every section to a CI-smoke footprint.  The document
+layout is guarded by :func:`validate_bench`, which ``repro bench
+--validate`` (and CI) runs so schema drift fails loudly instead of
+corrupting the trajectory; see ``docs/performance.md`` for how to read the
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+#: Version of the BENCH document layout; bump on any structural change so
+#: trajectory consumers can refuse documents they do not understand.
+BENCH_SCHEMA_VERSION = 1
+
+#: The ``schema`` marker every BENCH document carries.
+BENCH_SCHEMA = "repro-bench"
+
+#: Experiment ids the quick (CI smoke) experiment section is limited to:
+#: one analytical, one hardware-cost and one frame-simulating study.
+QUICK_EXPERIMENT_IDS = ("fig04", "fig16", "fig01")
+
+
+def repo_revision() -> str:
+    """Short git revision of the measured tree (``-dirty`` when modified).
+
+    Falls back to ``unknown`` outside a git checkout so the harness stays
+    usable from plain source archives.
+    """
+    root = Path(__file__).resolve().parents[3]
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{rev}-dirty" if status else rev
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+# -- measured sections ---------------------------------------------------------
+
+
+def _reference_spec(quick: bool):
+    """The sweep the cold/warm comparison times (smaller under ``--quick``)."""
+    from repro.nerf.models import FrameConfig
+    from repro.sim.sweep import SweepSpec
+    from repro.sparse.formats import Precision
+
+    if quick:
+        return SweepSpec(
+            devices=("flexnerfer",),
+            models=("instant-ngp",),
+            precisions=(None, Precision.INT8),
+            pruning_ratios=(0.0, 0.5),
+            base_config=FrameConfig(image_width=200, image_height=200),
+        )
+    # Matches the experiments' default frame shape (800x800) and spans the
+    # capability space (precision-scalable, fixed-precision, roofline and
+    # utilisation-model devices) so cold_s is a representative, reliably
+    # timeable simulation load rather than a microsecond blip.
+    return SweepSpec(
+        devices=("flexnerfer", "neurex", "rtx-2080-ti", "nvdla", "tpu"),
+        models=("nerf", "instant-ngp", "tensorf", "kilonerf"),
+        precisions=(None, Precision.INT8, Precision.INT4),
+        pruning_ratios=(0.0, 0.5, 0.9),
+        base_config=FrameConfig(),
+    )
+
+
+def bench_sweep(quick: bool, store_root: Path) -> dict[str, Any]:
+    """Time the reference sweep cold, memory-warm and store-warm."""
+    from repro.perf.store import ResultStore
+    from repro.sim.sweep import SweepEngine
+
+    spec = _reference_spec(quick)
+    store = ResultStore(store_root)
+
+    cold_engine = SweepEngine(store=store)
+    start = time.perf_counter()
+    cold_rows = cold_engine.run(spec)
+    cold_s = time.perf_counter() - start
+    render_calls = cold_engine.stats.render_calls
+
+    start = time.perf_counter()
+    cold_engine.run(spec)
+    warm_memory_s = time.perf_counter() - start
+
+    warm_engine = SweepEngine(store=store)
+    start = time.perf_counter()
+    warm_rows = warm_engine.run(spec)
+    warm_store_s = time.perf_counter() - start
+
+    identical = all(
+        a.report.latency_s == b.report.latency_s
+        and a.report.energy_j == b.report.energy_j
+        for a, b in zip(cold_rows, warm_rows)
+    )
+    return {
+        "sweep_points": len(cold_rows),
+        "render_calls": render_calls,
+        "warm_store_render_calls": warm_engine.stats.render_calls,
+        "store_hits": warm_engine.stats.store_hits,
+        "cold_s": cold_s,
+        "warm_memory_s": warm_memory_s,
+        "warm_store_s": warm_store_s,
+        "warm_store_speedup": cold_s / warm_store_s if warm_store_s > 0 else 0.0,
+        "warm_bit_exact": identical,
+    }
+
+
+def bench_experiments(quick: bool) -> list[dict[str, Any]]:
+    """Wall time of each experiment, run in registry order on one engine."""
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.sim.sweep import get_default_engine
+
+    # Cold in-memory timings: experiments share the process-wide engine
+    # (so the numbers reflect `repro run all` cache reuse between
+    # experiments) but never a persistent store or earlier activity.  The
+    # caller's store attachment is restored afterwards; the cleared
+    # in-memory caches simply re-warm.
+    engine = get_default_engine()
+    previous_store = engine.store
+    engine.clear()
+    engine.attach_store(None)
+    rows = []
+    try:
+        for exp_id, exp in EXPERIMENTS.items():
+            if quick and exp_id not in QUICK_EXPERIMENT_IDS:
+                continue
+            result = exp.run()
+            rows.append(
+                {"id": exp_id, "wall_time_s": result.provenance.wall_time_s}
+            )
+    finally:
+        engine.attach_store(previous_store)
+    return rows
+
+
+def bench_serving(quick: bool) -> dict[str, Any]:
+    """Event-loop throughput of the fleet simulator on warmed estimates."""
+    from repro.experiments._serving import REFERENCE_MIX
+    from repro.serve.fleet import FleetSimulator
+    from repro.serve.request import PoissonStream
+    from repro.serve.scheduler import FIFOScheduler
+    from repro.sim.sweep import SweepEngine
+
+    duration_s = 10.0 if quick else 60.0
+    rate_rps = 40.0
+    stream = PoissonStream(
+        rate_rps=rate_rps, duration_s=duration_s, mix=REFERENCE_MIX, sla_s=0.25
+    )
+    requests = stream.generate(seed=0)
+    engine = SweepEngine()
+    simulator = FleetSimulator(
+        ("flexnerfer", "neurex"), scheduler=FIFOScheduler(), engine=engine
+    )
+    simulator.run(requests)  # warm the frame-report cache
+    start = time.perf_counter()
+    report = simulator.run(requests)
+    wall_s = time.perf_counter() - start
+    return {
+        "num_requests": report.num_requests,
+        "simulated_duration_s": duration_s,
+        "offered_rate_rps": rate_rps,
+        "wall_s": wall_s,
+        "requests_per_wall_s": report.num_requests / wall_s if wall_s > 0 else 0.0,
+        "time_compression": duration_s / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def _time_per_call(fn, arguments: list[tuple], repeats: int) -> float:
+    """Mean seconds per call of ``fn`` over ``repeats`` passes of ``arguments``."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for args in arguments:
+            fn(*args)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(1, repeats * len(arguments))
+
+
+def bench_hot_path(quick: bool) -> dict[str, Any]:
+    """Microbenchmark the memoised hot paths against their uncached originals."""
+    from repro.nerf.models import FrameConfig, get_model
+    from repro.sim.array_config import ArrayConfig
+    from repro.sim.memory import stored_operand_bytes
+    from repro.sim.tiling import tile_counts
+
+    repeats = 20 if quick else 200
+    config = ArrayConfig(name="bench", supports_sparsity=True)
+    workload = get_model("instant-ngp").build_workload(
+        FrameConfig(image_width=200, image_height=200)
+    )
+    gemm_ops = workload.gemm_ops()
+
+    tiling_args = [(op, config) for op in gemm_ops]
+    tile_counts.cache_clear()
+    cached_tiling_s = _time_per_call(tile_counts, tiling_args, repeats)
+    uncached_tiling_s = _time_per_call(
+        tile_counts.__wrapped__, tiling_args, repeats
+    )
+
+    operand_args = [
+        (op.k, op.n, op.weight_sparsity, op.precision, True) for op in gemm_ops
+    ]
+    stored_operand_bytes.cache_clear()
+    cached_operand_s = _time_per_call(stored_operand_bytes, operand_args, repeats)
+    uncached_operand_s = _time_per_call(
+        stored_operand_bytes.__wrapped__, operand_args, repeats
+    )
+
+    def section(cached_s: float, uncached_s: float) -> dict[str, float]:
+        return {
+            "cached_s_per_call": cached_s,
+            "uncached_s_per_call": uncached_s,
+            "speedup": uncached_s / cached_s if cached_s > 0 else 0.0,
+        }
+
+    return {
+        "tiling": section(cached_tiling_s, uncached_tiling_s),
+        "operand_bytes": section(cached_operand_s, uncached_operand_s),
+    }
+
+
+# -- the document --------------------------------------------------------------
+
+
+def run_bench(quick: bool = False, store_root: Path | None = None) -> dict[str, Any]:
+    """Run every section and assemble one BENCH document.
+
+    ``store_root`` overrides where the cold/warm comparison keeps its
+    throwaway store (a sibling of the measured tree by default is *not*
+    used -- the comparison always runs against its own directory so a
+    pre-warmed user store cannot fake a cold time).
+    """
+    import tempfile
+
+    from repro import __version__
+    from repro.perf.store import STORE_SCHEMA_VERSION
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        sweep = bench_sweep(quick, store_root or Path(tmp))
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "store_schema_version": STORE_SCHEMA_VERSION,
+        "revision": repo_revision(),
+        "repo_version": __version__,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "sweep": sweep,
+        "experiments": bench_experiments(quick),
+        "serving": bench_serving(quick),
+        "hot_path": bench_hot_path(quick),
+    }
+
+
+#: Required (key, type) pairs of the document root.
+_ROOT_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("schema", str),
+    ("schema_version", int),
+    ("store_schema_version", int),
+    ("revision", str),
+    ("repo_version", str),
+    ("created_utc", str),
+    ("quick", bool),
+    ("python", str),
+    ("platform", str),
+    ("sweep", dict),
+    ("experiments", list),
+    ("serving", dict),
+    ("hot_path", dict),
+)
+
+#: Required numeric keys per measured section.
+_SECTION_FIELDS = {
+    "sweep": (
+        "sweep_points",
+        "render_calls",
+        "warm_store_render_calls",
+        "store_hits",
+        "cold_s",
+        "warm_memory_s",
+        "warm_store_s",
+        "warm_store_speedup",
+        # bool is an int subclass, so the numeric check accepts it while
+        # still failing loudly when the bit-exactness flag goes missing.
+        "warm_bit_exact",
+    ),
+    "serving": (
+        "num_requests",
+        "simulated_duration_s",
+        "offered_rate_rps",
+        "wall_s",
+        "requests_per_wall_s",
+        "time_compression",
+    ),
+}
+
+
+def validate_bench(document: Any) -> list[str]:
+    """Schema-check one BENCH document; returns the list of problems.
+
+    An empty list means the document conforms to
+    :data:`BENCH_SCHEMA_VERSION`; CI runs this after ``repro bench
+    --quick`` so any drift between emitter and schema fails the build.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, expected object"]
+    for key, expected in _ROOT_FIELDS:
+        if key not in document:
+            problems.append(f"missing key '{key}'")
+        elif not isinstance(document[key], expected):
+            problems.append(
+                f"'{key}' is {type(document[key]).__name__}, "
+                f"expected {getattr(expected, '__name__', expected)}"
+            )
+    if problems:
+        return problems
+    if document["schema"] != BENCH_SCHEMA:
+        problems.append(
+            f"schema is '{document['schema']}', expected '{BENCH_SCHEMA}'"
+        )
+    if document["schema_version"] != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {document['schema_version']} does not match "
+            f"this build's {BENCH_SCHEMA_VERSION} (schema drift)"
+        )
+    for section, keys in _SECTION_FIELDS.items():
+        for key in keys:
+            if key not in document[section]:
+                problems.append(f"'{section}' section missing key '{key}'")
+            elif not isinstance(document[section][key], (int, float)):
+                problems.append(f"'{section}.{key}' is not numeric")
+    for index, row in enumerate(document["experiments"]):
+        if not isinstance(row, dict) or "id" not in row or "wall_time_s" not in row:
+            problems.append(f"experiments[{index}] lacks id / wall_time_s")
+    for name in ("tiling", "operand_bytes"):
+        section = document["hot_path"].get(name)
+        if not isinstance(section, dict) or "speedup" not in section:
+            problems.append(f"hot_path.{name} lacks a speedup measurement")
+    return problems
+
+
+def bench_filename(revision: str) -> str:
+    """Canonical trajectory filename for a document measured at ``revision``."""
+    return f"BENCH_{revision}.json"
+
+
+def default_bench_dir() -> Path:
+    """Where ``repro bench`` writes by default: the repository checkout root."""
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return root
+    return Path(".")
+
+
+def write_bench(document: dict[str, Any], out: Path | None = None) -> Path:
+    """Write ``document`` to ``out`` (a directory or file path); returns the path.
+
+    ``out`` is taken as a directory (created if needed) unless it names a
+    ``.json`` file, in which case the document is written there verbatim.
+    """
+    if out is None:
+        out = default_bench_dir()
+    if out.suffix == ".json" and not out.is_dir():
+        path = out
+    else:
+        path = out / bench_filename(document["revision"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin shim
+    """Allow ``python -m repro.perf.bench`` as a CLI-free entry point."""
+    from repro.experiments.cli import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the repro CLI
+    sys.exit(main())

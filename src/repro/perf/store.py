@@ -1,0 +1,545 @@
+"""Content-addressed on-disk store of frame-simulation results.
+
+The :class:`~repro.sim.sweep.SweepEngine`'s in-memory report cache dies
+with the interpreter; this module gives it a persistent backing tier.  A
+:class:`StoreKey` identifies one simulation by *content*, not by time or
+code path:
+
+* the **device fingerprint** (:meth:`repro.core.device.Device.fingerprint`)
+  hashes every model parameter the device's estimates depend on, so editing
+  an array geometry, a power figure or a batching marginal invalidates
+  exactly that device's entries;
+* the **workload digest** hashes the exact operation list of a frame
+  (shapes, sparsities, precisions, counts), so model or resolution edits
+  invalidate exactly the affected workloads;
+* the **effective knobs** (precision / pruning after capability-flag
+  collapse) mirror the in-memory cache key, so a store entry is shared by
+  every requested sweep point that lands on the same simulation;
+* the **schema version** (:data:`STORE_SCHEMA_VERSION`) partitions the
+  store by serialization / semantics generation -- bump it whenever the
+  simulation model changes in a way fingerprints cannot see, and every old
+  entry silently becomes a miss.
+
+Entries are single JSON files written atomically (temp file +
+``os.replace``), so concurrent ``--jobs`` writers never corrupt the store:
+the worst case under a write race is one simulation performed twice, with
+bit-identical content winning either way.  Corrupt or truncated files are
+treated as misses and cleaned up lazily.
+
+A second tier rides on the same directory: whole **experiment results**
+(:class:`ExperimentResultKey`), keyed by the experiment's parameter
+fingerprint (which already hashes the repo version) plus a digest over
+*every* registered device's fingerprint -- so editing any device model
+invalidates every cached table, not just the frame reports it produced.
+The CLI uses it to make a warm ``repro run all`` byte-identical to the
+cold run while skipping the experiments' own compute (functional NeRF
+renders included), which dwarfs the cycle-level simulation time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.device import canonical_digest
+from repro.nerf.workload import OpCategory
+from repro.sparse.formats import Precision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.accelerator import FrameReport
+    from repro.nerf.workload import Workload
+
+#: Generation of the store's serialization format *and* of the simulation
+#: semantics fingerprints cannot observe.  Bump on either kind of change;
+#: entries from other generations are never read (see ``docs/performance.md``).
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store location.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: Directory name of the default store inside the repository checkout.
+DEFAULT_STORE_DIRNAME = ".repro-store"
+
+
+def workload_digest(workload: "Workload") -> str:
+    """Content hash of a workload's exact operation list and frame shape."""
+    return canonical_digest(
+        {
+            "model_name": workload.model_name,
+            "image_width": workload.image_width,
+            "image_height": workload.image_height,
+            "batch_size": workload.batch_size,
+            "ops": tuple(workload.ops),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """Content address of one frame simulation.
+
+    ``precision`` is the *effective* precision's name (None when the device
+    computes at its implicit native mode), ``pruning_ratio`` the *effective*
+    ratio -- i.e. the knobs after capability-flag collapse, mirroring the
+    sweep engine's in-memory cache key.
+    """
+
+    device_fingerprint: str
+    workload_digest: str
+    precision: str | None
+    pruning_ratio: float
+    schema_version: int = STORE_SCHEMA_VERSION
+
+    #: Directory the entry kind lives under inside a schema partition.
+    kind = "frame"
+
+    @property
+    def digest(self) -> str:
+        """The key's SHA-1 content address (the stored file's basename)."""
+        return canonical_digest(
+            (
+                self.device_fingerprint,
+                self.workload_digest,
+                self.precision,
+                self.pruning_ratio,
+                self.schema_version,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResultKey:
+    """Content address of one whole experiment result.
+
+    ``params_fingerprint`` is the Experiment API's config fingerprint
+    (experiment id + typed parameter values + repo version);
+    ``environment_digest`` hashes every registered device's fingerprint
+    (:func:`device_registry_digest`), so *any* device-model edit
+    invalidates every cached result.  Simulation-code edits no fingerprint
+    can see are covered by the shared :data:`STORE_SCHEMA_VERSION` bump
+    rule, exactly as for frame entries.
+    """
+
+    experiment_id: str
+    params_fingerprint: str
+    environment_digest: str
+    schema_version: int = STORE_SCHEMA_VERSION
+
+    kind = "result"
+
+    @property
+    def digest(self) -> str:
+        """The key's SHA-1 content address (the stored file's basename)."""
+        return canonical_digest(
+            (
+                self.experiment_id,
+                self.params_fingerprint,
+                self.environment_digest,
+                self.schema_version,
+            )
+        )
+
+
+#: Memoised registry digests, keyed on the registry's identity so runtime
+#: ``register_device`` calls are observed (device / workload construction is
+#: cheap but not free, and every cached experiment lookup needs the digest).
+_REGISTRY_DIGESTS: dict[tuple, str] = {}
+
+
+def device_registry_digest() -> str:
+    """One digest over the fingerprints of every registered device."""
+    from repro.core.device import DEVICE_REGISTRY, get_device
+
+    identity = tuple(sorted((name, id(f)) for name, f in DEVICE_REGISTRY.items()))
+    if identity not in _REGISTRY_DIGESTS:
+        _REGISTRY_DIGESTS[identity] = canonical_digest(
+            {name: get_device(name).fingerprint() for name in sorted(DEVICE_REGISTRY)}
+        )
+    return _REGISTRY_DIGESTS[identity]
+
+
+def model_registry_digest() -> str:
+    """One digest over every registered NeRF model's default-config workload.
+
+    Editing a model descriptor (layer widths, encoding tables, op counts)
+    changes its default-config workload digest, which is how experiment
+    results cached by :func:`environment_digest` get invalidated without a
+    schema bump.
+    """
+    from repro.nerf.models import MODEL_REGISTRY, FrameConfig, get_model
+
+    identity = ("models",) + tuple(
+        sorted((name, id(cls)) for name, cls in MODEL_REGISTRY.items())
+    )
+    if identity not in _REGISTRY_DIGESTS:
+        config = FrameConfig()
+        _REGISTRY_DIGESTS[identity] = canonical_digest(
+            {
+                name: workload_digest(get_model(name).build_workload(config))
+                for name in sorted(MODEL_REGISTRY)
+            }
+        )
+    return _REGISTRY_DIGESTS[identity]
+
+
+def environment_digest() -> str:
+    """The simulation environment's combined identity for result caching.
+
+    Hashes every registered device's fingerprint *and* every registered
+    model's default workload digest, so a cached experiment result is
+    invalidated by any device-model or NeRF-descriptor edit -- the same
+    edits that would invalidate the frame tier entry by entry.
+    """
+    return canonical_digest(
+        {"devices": device_registry_digest(), "models": model_registry_digest()}
+    )
+
+
+# -- FrameReport (de)serialization --------------------------------------------
+
+
+def report_to_dict(report: "FrameReport") -> dict[str, Any]:
+    """JSON-safe representation of a report, bit-exact under round-trip.
+
+    Python's ``json`` emits floats via ``repr``, which round-trips IEEE-754
+    doubles exactly, so a stored report reloads with identical latency /
+    energy / per-op numbers (pinned by ``tests/perf/test_store.py``).
+    """
+    return {
+        "device": report.device,
+        "model_name": report.model_name,
+        "latency_s": report.latency_s,
+        "energy_j": report.energy_j,
+        "precision": report.precision.name if report.precision else None,
+        "extra": dict(report.extra),
+        "trace": {
+            "device": report.trace.device,
+            "model_name": report.trace.model_name,
+            "records": [
+                {
+                    "name": r.name,
+                    "category": r.category.name,
+                    "time_s": r.time_s,
+                    "energy_j": r.energy_j,
+                    "compute_time_s": r.compute_time_s,
+                    "dram_time_s": r.dram_time_s,
+                    "format_conversion_time_s": r.format_conversion_time_s,
+                    "dram_bytes": r.dram_bytes,
+                    "utilization": r.utilization,
+                }
+                for r in report.trace.records
+            ],
+        },
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> "FrameReport":
+    """Rebuild a :class:`FrameReport` from :func:`report_to_dict` output."""
+    from repro.core.accelerator import FrameReport
+    from repro.sim.trace import ExecutionTrace, OpRecord
+
+    trace_data = data["trace"]
+    trace = ExecutionTrace(
+        device=trace_data["device"],
+        model_name=trace_data["model_name"],
+        records=[
+            OpRecord(
+                name=r["name"],
+                category=OpCategory[r["category"]],
+                time_s=r["time_s"],
+                energy_j=r["energy_j"],
+                compute_time_s=r["compute_time_s"],
+                dram_time_s=r["dram_time_s"],
+                format_conversion_time_s=r["format_conversion_time_s"],
+                dram_bytes=r["dram_bytes"],
+                utilization=r["utilization"],
+            )
+            for r in trace_data["records"]
+        ],
+    )
+    return FrameReport(
+        device=data["device"],
+        model_name=data["model_name"],
+        latency_s=data["latency_s"],
+        energy_j=data["energy_j"],
+        trace=trace,
+        precision=Precision[data["precision"]] if data["precision"] else None,
+        extra=dict(data["extra"]),
+    )
+
+
+# -- the store itself ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of a store's on-disk contents (``repro cache stats``)."""
+
+    root: str
+    schema_version: int
+    entries: int
+    total_bytes: int
+    stale_entries: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping of the snapshot."""
+        return {
+            "root": self.root,
+            "schema_version": self.schema_version,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "stale_entries": self.stale_entries,
+        }
+
+
+class ResultStore:
+    """A directory of content-addressed frame simulations.
+
+    Layout: ``root/v<schema>/<digest[:2]>/<digest>.json``; the two-level
+    fan-out keeps directories small at fleet-sweep entry counts.  All
+    operations tolerate concurrent readers and writers (atomic replace,
+    corrupt-as-miss), making the store safe under ``repro run --jobs`` and
+    parallel CI shards sharing one cache directory.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        """Bind the store to ``root`` (created lazily on first write)."""
+        self.root = Path(root)
+        self.schema_version = STORE_SCHEMA_VERSION
+        self._write_warned = False
+
+    @classmethod
+    def default(cls) -> "ResultStore":
+        """The store CLI runs use: ``$REPRO_STORE_DIR`` or ``<checkout>/.repro-store``.
+
+        Falls back to a CWD-relative ``.repro-store`` when the package does
+        not run from a source checkout (plain site-packages install).
+        """
+        env = os.environ.get(STORE_DIR_ENV)
+        if env:
+            return cls(Path(env))
+        checkout = Path(__file__).resolve().parents[3]
+        if (checkout / "pyproject.toml").exists():
+            return cls(checkout / DEFAULT_STORE_DIRNAME)
+        return cls(Path(DEFAULT_STORE_DIRNAME))
+
+    # -- pathing ---------------------------------------------------------------
+
+    def _schema_dir(self, schema_version: int | None = None) -> Path:
+        version = self.schema_version if schema_version is None else schema_version
+        return self.root / f"v{version}"
+
+    def path_for(self, key: "StoreKey | ExperimentResultKey") -> Path:
+        """On-disk location of ``key``'s entry."""
+        digest = key.digest
+        return (
+            self._schema_dir(key.schema_version)
+            / key.kind
+            / digest[:2]
+            / f"{digest}.json"
+        )
+
+    def _entry_files(self, schema_only: bool = True) -> Iterator[Path]:
+        base = self._schema_dir() if schema_only else self.root
+        if not base.exists():
+            return
+        yield from sorted(base.rglob("*.json"))
+
+    def _is_current_schema(self, path: Path) -> bool:
+        return f"v{self.schema_version}" in path.parts
+
+    # -- read / write ----------------------------------------------------------
+
+    def _read_document(
+        self, key: "StoreKey | ExperimentResultKey"
+    ) -> dict[str, Any] | None:
+        """The raw JSON document stored under ``key``, or None on any problem."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            if data.get("schema_version") != key.schema_version:
+                return None
+            return data
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # Truncated / corrupt / foreign file: treat as a miss and drop it
+            # so the slot heals on the next put.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unwritable store
+                pass
+            return None
+
+    def _write_document(
+        self,
+        key: "StoreKey | ExperimentResultKey",
+        document: dict[str, Any],
+    ) -> Path:
+        """Atomically persist one entry; readers never see partial files.
+
+        An unwritable store (read-only CI cache, bogus ``$REPRO_STORE_DIR``)
+        degrades to cold simulation instead of crashing the run: the first
+        failure prints one warning to stderr, subsequent ones are silent,
+        and the entry simply is not persisted.
+        """
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Unique temp name per writer; os.replace is atomic on POSIX and
+            # Windows, so readers only ever see complete entries.
+            tmp = path.with_suffix(f".tmp-{os.getpid()}-{os.urandom(4).hex()}")
+            tmp.write_text(json.dumps(document))
+            os.replace(tmp, path)
+        except OSError as exc:
+            if not self._write_warned:
+                self._write_warned = True
+                print(
+                    f"warning: result store {self.root} is not writable "
+                    f"({exc}); continuing without persistence",
+                    file=sys.stderr,
+                )
+        return path
+
+    def get(self, key: StoreKey) -> "FrameReport | None":
+        """The stored report for ``key``, or None (missing or unreadable)."""
+        data = self._read_document(key)
+        if data is None:
+            return None
+        try:
+            return report_from_dict(data["report"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: StoreKey, report: "FrameReport") -> Path:
+        """Persist ``report`` under ``key`` atomically; returns the path."""
+        return self._write_document(
+            key,
+            {
+                "schema_version": key.schema_version,
+                "created_s": time.time(),
+                "key": {
+                    "device_fingerprint": key.device_fingerprint,
+                    "workload_digest": key.workload_digest,
+                    "precision": key.precision,
+                    "pruning_ratio": key.pruning_ratio,
+                },
+                "report": report_to_dict(report),
+            },
+        )
+
+    def get_result(self, key: ExperimentResultKey) -> dict[str, Any] | None:
+        """The cached experiment-result payload for ``key``, or None.
+
+        The payload is whatever :meth:`put_result` stored -- by convention
+        the serialized :class:`~repro.experiments.api.ExperimentResult`
+        mapping plus its rendered table (see ``repro.experiments.cli``).
+        """
+        data = self._read_document(key)
+        if data is None:
+            return None
+        payload = data.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put_result(self, key: ExperimentResultKey, payload: dict[str, Any]) -> Path:
+        """Persist one experiment-result payload under ``key`` atomically."""
+        return self._write_document(
+            key,
+            {
+                "schema_version": key.schema_version,
+                "created_s": time.time(),
+                "key": {
+                    "experiment_id": key.experiment_id,
+                    "params_fingerprint": key.params_fingerprint,
+                    "environment_digest": key.environment_digest,
+                },
+                "payload": payload,
+            },
+        )
+
+    # -- maintenance -----------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Entry counts and on-disk footprint, split current vs. stale schema."""
+        entries = 0
+        total_bytes = 0
+        stale = 0
+        for path in self._entry_files(schema_only=False):
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            total_bytes += size
+            if self._is_current_schema(path):
+                entries += 1
+            else:
+                stale += 1
+        return StoreStats(
+            root=str(self.root),
+            schema_version=self.schema_version,
+            entries=entries,
+            total_bytes=total_bytes,
+            stale_entries=stale,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (all schema generations); returns the count."""
+        removed = 0
+        for path in self._entry_files(schema_only=False):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing writer
+                continue
+        return removed
+
+    def evict(
+        self,
+        max_entries: int | None = None,
+        max_age_s: float | None = None,
+    ) -> int:
+        """Drop stale-schema entries, then the oldest beyond the given bounds.
+
+        ``max_entries`` keeps at most that many newest current-schema
+        entries; ``max_age_s`` drops entries older than the horizon.  Either
+        bound may be None; negative bounds are rejected (a negative slice
+        would silently doom the whole store).  Stale-schema generations are
+        always evicted.  Returns the number of files removed.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        removed = 0
+        for path in self._entry_files(schema_only=False):
+            if not self._is_current_schema(path):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing writer
+                    pass
+        aged: list[tuple[float, Path]] = []
+        for path in self._entry_files():
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+        aged.sort()  # oldest first
+        now = time.time()
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            doomed.extend(p for mtime, p in aged if now - mtime > max_age_s)
+        if max_entries is not None and len(aged) > max_entries:
+            doomed.extend(p for _, p in aged[: len(aged) - max_entries])
+        for path in dict.fromkeys(doomed):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing writer
+                continue
+        return removed

@@ -9,7 +9,10 @@ Because service estimates go through the engine's report cache, a stream of
 thousands of requests over a handful of scenarios performs a handful of
 frame simulations -- and those simulations are *bit-exact* the ones the
 paper's figures use, so serving results and figure results never drift
-apart.
+apart.  When the engine carries a persistent result store
+(:mod:`repro.perf.store`; the CLI attaches one by default), those frame
+simulations are read from disk too, so a warm serving study performs no
+cycle-level simulation at all.
 
 The event loop is deterministic: events are ordered by ``(time, kind,
 sequence number)``, all simultaneous events are drained before the

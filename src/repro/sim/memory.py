@@ -10,6 +10,7 @@ are re-fetched once per reuse pass.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -36,6 +37,31 @@ class TrafficReport:
         return self.weight_bytes + self.activation_bytes + self.output_bytes
 
 
+@functools.lru_cache(maxsize=16384)
+def stored_operand_bytes(
+    rows: int,
+    cols: int,
+    sparsity: float,
+    precision: Precision,
+    compressed: bool,
+) -> tuple[float, SparsityFormat]:
+    """Stored size of one operand matrix and the sparsity format used.
+
+    Pure function of its arguments (the format selector and footprint model
+    are deterministic), memoised process-wide: every GEMM execution sizes
+    two operands, and sweeps re-size the same MLP layer shapes across
+    devices, precisions and pruning ratios.  ``repro bench`` quantifies the
+    speedup; ``stored_operand_bytes.__wrapped__`` is the uncached original.
+    """
+    dense_bits = rows * cols * precision.bits
+    if not compressed:
+        return dense_bits / 8.0, SparsityFormat.NONE
+    decision = FormatSelector().decide(sparsity, precision)
+    model = FootprintModel(rows=rows, cols=cols, precision=precision)
+    bits = model.bits(decision.fmt, sparsity)
+    return bits / 8.0, decision.fmt
+
+
 @dataclass
 class MemoryTrafficModel:
     """Traffic model parameterised by buffers and compression support."""
@@ -60,14 +86,10 @@ class MemoryTrafficModel:
         sparsity: float,
         precision: Precision,
     ) -> tuple[float, SparsityFormat]:
-        """Stored size of an operand matrix and the format used."""
-        dense_bits = rows * cols * precision.bits
-        if not self.compression_enabled:
-            return dense_bits / 8.0, SparsityFormat.NONE
-        decision = FormatSelector().decide(sparsity, precision)
-        model = FootprintModel(rows=rows, cols=cols, precision=precision)
-        bits = model.bits(decision.fmt, sparsity)
-        return bits / 8.0, decision.fmt
+        """Stored size of an operand matrix and the format used (memoised)."""
+        return stored_operand_bytes(
+            rows, cols, sparsity, precision, self.compression_enabled
+        )
 
     def _refetch_factor(self, operand_bytes: float, buffer: SRAMMacro, reuse_passes: int) -> int:
         """Number of times an operand streams from DRAM given its buffer."""

@@ -19,6 +19,14 @@ Sweeps can optionally fan out over a process pool (``max_workers``); unique
 cache keys are simulated exactly once either way.  Experiments share one
 process-wide engine via :func:`get_default_engine`, so e.g. Fig. 1 and
 Fig. 3 reuse each other's GPU frame reports.
+
+A third, *persistent* tier can be attached (:meth:`SweepEngine.attach_store`
+/ the ``store`` constructor argument): in-memory report-cache misses then
+consult a content-addressed on-disk :class:`repro.perf.store.ResultStore`
+before simulating, and freshly simulated reports are written back.  The
+``repro`` CLI attaches the default store unless ``--no-store`` is passed,
+which is what makes warm ``repro run all`` invocations skip cycle-level
+simulation across interpreter restarts; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.accelerator import FrameReport
     from repro.core.device import Device
     from repro.nerf.workload import Workload
+    from repro.perf.store import ResultStore, StoreKey
 
 WorkloadKey = tuple[str, FrameConfig]
 ReportKey = tuple[str, Hashable, Precision | None, float]
@@ -125,17 +134,30 @@ class SweepResult:
 
 @dataclass
 class SweepCacheStats:
-    """Counters exposing how much work the engine's caches saved."""
+    """Counters exposing how much work the engine's caches saved.
+
+    ``report_hits`` / ``report_misses`` track the in-memory report cache;
+    ``store_hits`` / ``store_misses`` track the optional persistent tier
+    consulted on in-memory misses (both stay zero without an attached
+    store).
+    """
 
     workload_hits: int = 0
     workload_misses: int = 0
     report_hits: int = 0
     report_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def render_calls(self) -> int:
-        """Physical ``render_frame`` invocations performed so far."""
-        return self.report_misses
+        """Physical ``render_frame`` invocations performed so far.
+
+        An in-memory miss satisfied from the persistent store loads a
+        serialized report instead of simulating, so store hits subtract
+        from the miss count.
+        """
+        return self.report_misses - self.store_hits
 
 
 def _render_task(
@@ -155,16 +177,29 @@ def _render_task(
 class SweepEngine:
     """Runs :class:`SweepSpec` sweeps with memoisation and optional parallelism."""
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        store: "ResultStore | None" = None,
+    ) -> None:
         #: Process-pool width for cache-miss simulation; ``None`` -> serial.
         self.max_workers = max_workers
+        #: Optional persistent tier consulted on in-memory misses.
+        self.store = store
         self.stats = SweepCacheStats()
         self._devices: dict[str, "Device"] = {}
         self._workloads: dict[WorkloadKey, "Workload"] = {}
         self._reports: dict[ReportKey, "FrameReport"] = {}
+        self._device_fingerprints: dict[str, str] = {}
+        self._workload_digests: dict[Hashable, str] = {}
         # Guards the caches when experiments run on a thread pool (the CLI's
         # --jobs); simulations stay serialized, cache reads stay consistent.
         self._lock = threading.RLock()
+
+    def attach_store(self, store: "ResultStore | None") -> None:
+        """Attach (or, with None, detach) the persistent result store."""
+        with self._lock:
+            self.store = store
 
     # -- cached building blocks ----------------------------------------------
 
@@ -228,6 +263,14 @@ class SweepEngine:
                 self.stats.report_hits += 1
                 return cached
             self.stats.report_misses += 1
+            store_key = self._store_key(key, workload)
+            if store_key is not None:
+                stored = self.store.get(store_key)
+                if stored is not None:
+                    self.stats.store_hits += 1
+                    self._reports[key] = stored
+                    return stored
+                self.stats.store_misses += 1
             device = self.device(device_name)
             report = device.render_frame(
                 workload,
@@ -235,7 +278,31 @@ class SweepEngine:
                 pruning_ratio=device.effective_pruning(pruning_ratio),
             )
             self._reports[key] = report
+            if store_key is not None:
+                self.store.put(store_key, report)
             return report
+
+    def _store_key(self, key: ReportKey, workload: "Workload") -> "StoreKey | None":
+        """The persistent-store address of one report-cache key (lock held)."""
+        if self.store is None:
+            return None
+        from repro.perf.store import StoreKey
+
+        device_name, workload_fp, precision, pruning = key
+        if device_name not in self._device_fingerprints:
+            self._device_fingerprints[device_name] = self.device(
+                device_name
+            ).fingerprint()
+        if workload_fp not in self._workload_digests:
+            from repro.perf.store import workload_digest
+
+            self._workload_digests[workload_fp] = workload_digest(workload)
+        return StoreKey(
+            device_fingerprint=self._device_fingerprints[device_name],
+            workload_digest=self._workload_digests[workload_fp],
+            precision=precision.name if precision is not None else None,
+            pruning_ratio=pruning,
+        )
 
     # -- sweep execution ------------------------------------------------------
 
@@ -300,6 +367,25 @@ class SweepEngine:
             with self._lock:
                 if key not in self._reports and key not in pending:
                     pending[key] = (device_name.lower(), workload)
+        if self.store is not None:
+            # Satisfy what the persistent tier already holds before paying
+            # for any worker process.  The stats mirror the serial path: a
+            # store hit is an in-memory miss (re-counted as a hit by run())
+            # that performed no render.
+            for key in list(pending):
+                with self._lock:
+                    store_key = self._store_key(key, pending[key][1])
+                    if store_key is None:  # store detached mid-sweep
+                        break
+                    stored = self.store.get(store_key)
+                    if stored is not None:
+                        self._reports[key] = stored
+                        self.stats.store_hits += 1
+                        self.stats.report_misses += 1
+                        self.stats.report_hits -= 1
+                        del pending[key]
+                    else:
+                        self.stats.store_misses += 1
         if not pending:
             return
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
@@ -319,6 +405,10 @@ class SweepEngine:
                     self._reports[key] = report
                     self.stats.report_misses += 1
                     self.stats.report_hits -= 1  # the run() pass re-counts these as hits
+                    if self.store is not None:
+                        self.store.put(
+                            self._store_key(key, pending[key][1]), report
+                        )
 
     def clear(self) -> None:
         """Drop every cached workload and report (devices are kept)."""

@@ -1,7 +1,27 @@
 """Shared pytest fixtures."""
 
+import os
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a throwaway directory.
+
+    CLI tests exercise ``repro run`` with its default store attached; this
+    keeps them from reading or writing the developer's ``.repro-store``
+    in the checkout.
+    """
+    store_dir = tmp_path_factory.mktemp("repro-store")
+    previous = os.environ.get("REPRO_STORE_DIR")
+    os.environ["REPRO_STORE_DIR"] = str(store_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_STORE_DIR", None)
+    else:  # pragma: no cover - depends on the invoking environment
+        os.environ["REPRO_STORE_DIR"] = previous
 
 
 @pytest.fixture

@@ -18,6 +18,10 @@ ENFORCED_MODULES = (
     "repro.sim.sweep",
     "repro.experiments.api",
     "repro.experiments.catalog",
+    "repro.experiments.cli",
+    "repro.perf",
+    "repro.perf.store",
+    "repro.perf.bench",
     "repro.serve",
     "repro.serve.request",
     "repro.serve.scheduler",

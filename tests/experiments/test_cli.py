@@ -14,6 +14,16 @@ def run_cli(capsys, *argv):
     return code, captured.out, captured.err
 
 
+@pytest.fixture(autouse=True)
+def _detach_default_store():
+    """CLI runs attach the result store to the shared engine; detach after
+    each test so other modules keep exercising the pure in-memory path."""
+    yield
+    from repro.sim.sweep import get_default_engine
+
+    get_default_engine().attach_store(None)
+
+
 class TestList:
     def test_lists_every_experiment(self, capsys):
         code, out, _ = run_cli(capsys, "list")
@@ -154,6 +164,143 @@ class TestRun:
             ]
 
         assert tables(parallel_out) == tables(serial_out)
+
+
+class TestStoreFlags:
+    def test_run_attaches_the_default_store(self, capsys, monkeypatch, tmp_path):
+        from repro.sim.sweep import get_default_engine
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        # Earlier tests may have warmed the in-memory report cache; drop it
+        # so this run demonstrably persists its simulations.
+        get_default_engine().clear()
+        code, _, _ = run_cli(capsys, "run", "fig01")
+        assert code == 0
+        engine = get_default_engine()
+        assert engine.store is not None
+        assert engine.store.root == tmp_path
+        assert engine.store.stats().entries > 0  # frame sims were persisted
+
+    def test_no_store_detaches(self, capsys):
+        from repro.sim.sweep import get_default_engine
+
+        code, _, _ = run_cli(capsys, "run", "fig04", "--no-store")
+        assert code == 0
+        assert get_default_engine().store is None
+
+    def test_warm_run_replays_byte_identical_output(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        code, cold_out, _ = run_cli(capsys, "run", "fig04", "fig06", "fig12")
+        assert code == 0
+        code, warm_out, _ = run_cli(capsys, "run", "fig04", "fig06", "fig12")
+        assert code == 0
+        # Includes the `===== id: title (Xs) =====` headers: cached results
+        # keep the producing run's provenance, so even wall times match.
+        assert warm_out == cold_out
+
+    def test_param_override_misses_the_result_cache(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        code, default_out, _ = run_cli(capsys, "run", "fig06")
+        assert code == 0
+        code, overridden_out, _ = run_cli(
+            capsys, "run", "fig06", "--rows", "32", "--cols", "32"
+        )
+        assert code == 0
+        assert "32x32" in overridden_out
+        assert overridden_out != default_out
+
+    def test_warm_json_artifacts_match_cold(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        cold_dir, warm_dir = tmp_path / "cold", tmp_path / "warm"
+        run_cli(capsys, "run", "fig04", "--format", "json", "--out", str(cold_dir))
+        run_cli(capsys, "run", "fig04", "--format", "json", "--out", str(warm_dir))
+        assert (
+            (cold_dir / "fig04.json").read_text()
+            == (warm_dir / "fig04.json").read_text()
+        )
+
+
+class TestCache:
+    def test_needs_an_action(self, capsys):
+        code, _, err = run_cli(capsys, "cache")
+        assert code == 2
+        assert "stats | clear | evict" in err
+
+    def test_unknown_action_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "cache", "explode")
+        assert code == 2
+        assert "unknown cache action" in err
+
+    def test_stats_json_on_explicit_dir(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "cache", "stats", "--dir", str(tmp_path), "--format", "json"
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["root"] == str(tmp_path)
+        assert stats["entries"] == 0
+
+    def test_clear_reports_removals(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        run_cli(capsys, "run", "fig01")
+        code, out, _ = run_cli(capsys, "cache", "stats")
+        assert code == 0 and str(tmp_path) in out
+        code, out, _ = run_cli(capsys, "cache", "clear")
+        assert code == 0 and "removed" in out
+        code, out, _ = run_cli(
+            capsys, "cache", "stats", "--format", "json"
+        )
+        assert json.loads(out)["entries"] == 0
+
+    def test_evict_with_bounds(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "cache", "evict", "--dir", str(tmp_path),
+            "--max-entries", "10", "--max-age-days", "1",
+        )
+        assert code == 0 and "evicted 0 entries" in out
+
+    def test_evict_bad_bound_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "evict", "--dir", str(tmp_path), "--max-entries", "x"
+        )
+        assert code == 2
+        assert "--max-entries" in err
+
+    def test_evict_negative_bound_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "evict", "--dir", str(tmp_path), "--max-entries", "-5"
+        )
+        assert code == 2
+        assert ">= 0" in err
+
+    def test_stats_bad_format_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "stats", "--dir", str(tmp_path), "--format", "josn"
+        )
+        assert code == 2
+        assert "invalid cache format" in err
+
+    def test_clear_rejects_eviction_bounds(self, capsys, tmp_path):
+        # `clear --max-age-days 30` must not silently wipe everything.
+        code, _, err = run_cli(
+            capsys, "cache", "clear", "--dir", str(tmp_path),
+            "--max-age-days", "30",
+        )
+        assert code == 2
+        assert "unknown option" in err
+
+    def test_stats_rejects_eviction_bounds(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "stats", "--dir", str(tmp_path), "--max-entries", "5"
+        )
+        assert code == 2
+        assert "unknown option" in err
 
 
 class TestDocs:

@@ -1,0 +1,179 @@
+"""The bench harness emits valid, self-consistent BENCH documents.
+
+Timing magnitudes are machine-dependent and not asserted; what is pinned
+is structure (schema validation), the skip-simulation promise of the warm
+store path, bit-exactness, and the CLI surface (write / validate / error
+paths).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import cli
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_filename,
+    bench_hot_path,
+    repo_revision,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_document():
+    """One quick bench run shared by the document-shape tests."""
+    return run_bench(quick=True)
+
+
+class TestRunBench:
+    def test_document_validates(self, quick_document):
+        assert validate_bench(quick_document) == []
+
+    def test_metadata(self, quick_document):
+        assert quick_document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert quick_document["quick"] is True
+        assert quick_document["revision"] == repo_revision()
+
+    def test_warm_store_skips_simulation(self, quick_document):
+        sweep = quick_document["sweep"]
+        assert sweep["render_calls"] > 0
+        assert sweep["warm_store_render_calls"] == 0
+        assert sweep["store_hits"] == sweep["render_calls"]
+        assert sweep["warm_bit_exact"] is True
+        assert sweep["cold_s"] > 0 and sweep["warm_store_s"] > 0
+
+    def test_quick_experiment_section(self, quick_document):
+        ids = [row["id"] for row in quick_document["experiments"]]
+        assert ids == sorted(set(ids), key=ids.index)  # no duplicates
+        assert set(ids) == set(cli_quick_ids())
+        assert all(row["wall_time_s"] >= 0 for row in quick_document["experiments"])
+
+    def test_serving_section(self, quick_document):
+        serving = quick_document["serving"]
+        assert serving["num_requests"] > 0
+        assert serving["requests_per_wall_s"] > 0
+        assert serving["time_compression"] > 0
+
+    def test_experiment_section_restores_the_engine_store(self, tmp_path):
+        from repro.perf.bench import bench_experiments
+        from repro.perf.store import ResultStore
+        from repro.sim.sweep import get_default_engine
+
+        engine = get_default_engine()
+        store = ResultStore(tmp_path)
+        engine.attach_store(store)
+        try:
+            bench_experiments(quick=True)
+            assert engine.store is store
+        finally:
+            engine.attach_store(None)
+
+    def test_hot_path_measures_both_caches(self):
+        section = bench_hot_path(quick=True)
+        for name in ("tiling", "operand_bytes"):
+            assert section[name]["cached_s_per_call"] > 0
+            assert section[name]["uncached_s_per_call"] > 0
+            assert section[name]["speedup"] > 0
+
+
+def cli_quick_ids():
+    from repro.perf.bench import QUICK_EXPERIMENT_IDS
+
+    return QUICK_EXPERIMENT_IDS
+
+
+class TestValidateBench:
+    def test_rejects_non_object(self):
+        assert validate_bench([1, 2]) != []
+        assert validate_bench(None) != []
+
+    def test_reports_missing_keys(self, quick_document):
+        broken = dict(quick_document)
+        del broken["sweep"]
+        assert any("sweep" in p for p in validate_bench(broken))
+
+    def test_reports_schema_drift(self, quick_document):
+        drifted = dict(quick_document)
+        drifted["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        assert any("drift" in p for p in validate_bench(drifted))
+
+    def test_reports_missing_section_fields(self, quick_document):
+        broken = dict(quick_document)
+        broken["sweep"] = {k: v for k, v in broken["sweep"].items() if k != "cold_s"}
+        assert any("cold_s" in p for p in validate_bench(broken))
+
+    def test_reports_missing_bit_exact_flag(self, quick_document):
+        broken = dict(quick_document)
+        broken["sweep"] = {
+            k: v for k, v in broken["sweep"].items() if k != "warm_bit_exact"
+        }
+        assert any("warm_bit_exact" in p for p in validate_bench(broken))
+
+    def test_reports_bad_hot_path(self, quick_document):
+        broken = dict(quick_document)
+        broken["hot_path"] = {"tiling": {}}
+        problems = validate_bench(broken)
+        assert any("tiling" in p for p in problems)
+        assert any("operand_bytes" in p for p in problems)
+
+
+class TestWriteBench:
+    def test_writes_into_directory(self, quick_document, tmp_path):
+        path = write_bench(quick_document, tmp_path)
+        assert path == tmp_path / bench_filename(quick_document["revision"])
+        assert validate_bench(json.loads(path.read_text())) == []
+
+    def test_creates_missing_directory(self, quick_document, tmp_path):
+        path = write_bench(quick_document, tmp_path / "nested" / "dir")
+        assert path.parent == tmp_path / "nested" / "dir"
+        assert path.exists()
+
+    def test_explicit_json_path(self, quick_document, tmp_path):
+        path = write_bench(quick_document, tmp_path / "point.json")
+        assert path == tmp_path / "point.json"
+        assert json.loads(path.read_text())["schema"] == "repro-bench"
+
+
+class TestBenchCLI:
+    def test_bench_quick_out(self, tmp_path, capsys):
+        assert cli.main(["bench", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "sweep:" in out and "serving:" in out
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        assert validate_bench(json.loads(files[0].read_text())) == []
+
+    def test_validate_ok(self, quick_document, tmp_path, capsys):
+        path = write_bench(quick_document, tmp_path)
+        assert cli.main(["bench", "--validate", str(path)]) == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_validate_drift_fails(self, quick_document, tmp_path, capsys):
+        drifted = dict(quick_document)
+        drifted["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        path = tmp_path / "drifted.json"
+        path.write_text(json.dumps(drifted))
+        assert cli.main(["bench", "--validate", str(path)]) == 1
+        assert "drift" in capsys.readouterr().err
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        assert cli.main(["bench", "--validate", str(tmp_path / "nope.json")]) == 2
+        assert "no such BENCH file" in capsys.readouterr().err
+
+    def test_validate_directory_exits_2(self, tmp_path, capsys):
+        # A natural slip: passing the --out directory instead of the file.
+        assert cli.main(["bench", "--validate", str(tmp_path)]) == 2
+        assert "cannot read BENCH file" in capsys.readouterr().err
+
+    def test_validate_bad_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{ nope")
+        assert cli.main(["bench", "--validate", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_option(self, capsys):
+        assert cli.main(["bench", "--frobnicate", "1"]) == 2
+        assert "unknown option" in capsys.readouterr().err

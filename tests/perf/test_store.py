@@ -1,0 +1,440 @@
+"""Correctness of the persistent result store (repro.perf.store).
+
+Pins the store's core promises: fingerprint changes on device / workload /
+schema edits address different entries, warm-path results are bit-exact
+vs. the cold path (down to per-op trace records), concurrent writers never
+corrupt the store, and eviction / clearing behave as documented.
+"""
+
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.device import FlexNeRFerDevice, TPUDevice, get_device
+from repro.core.config import FlexNeRFerConfig
+from repro.nerf.models import FrameConfig, get_model
+from repro.perf.store import (
+    STORE_SCHEMA_VERSION,
+    ExperimentResultKey,
+    ResultStore,
+    StoreKey,
+    device_registry_digest,
+    report_from_dict,
+    report_to_dict,
+    workload_digest,
+)
+from repro.sim.sweep import SweepEngine, SweepSpec
+from repro.sparse.formats import Precision
+
+SMALL = FrameConfig(image_width=100, image_height=100)
+
+
+def small_workload(model="instant-ngp", config=SMALL):
+    return get_model(model).build_workload(config)
+
+
+def render_small(device_name="flexnerfer"):
+    return get_device(device_name).render_frame(small_workload())
+
+
+def make_key(salt="a"):
+    return StoreKey(
+        device_fingerprint=f"fp-{salt}",
+        workload_digest=f"wl-{salt}",
+        precision="INT16",
+        pruning_ratio=0.0,
+    )
+
+
+class TestSerialization:
+    def test_round_trip_is_bit_exact(self):
+        report = render_small()
+        clone = report_from_dict(json.loads(json.dumps(report_to_dict(report))))
+        assert clone.device == report.device
+        assert clone.model_name == report.model_name
+        assert clone.latency_s == report.latency_s
+        assert clone.energy_j == report.energy_j
+        assert clone.precision == report.precision
+        assert clone.extra == report.extra
+        assert len(clone.trace.records) == len(report.trace.records)
+        for ours, theirs in zip(clone.trace.records, report.trace.records):
+            assert ours == theirs  # dataclass equality: every float field
+
+    def test_round_trip_none_precision(self):
+        report = render_small("rtx-2080-ti")
+        assert report.precision is None
+        clone = report_from_dict(report_to_dict(report))
+        assert clone.precision is None
+
+
+class TestFingerprints:
+    def test_device_fingerprint_is_stable(self):
+        assert TPUDevice().fingerprint() == TPUDevice().fingerprint()
+        assert (
+            FlexNeRFerDevice().fingerprint() == FlexNeRFerDevice().fingerprint()
+        )
+
+    def test_device_edit_changes_fingerprint(self):
+        assert TPUDevice().fingerprint() != TPUDevice(rows=32).fingerprint()
+        assert (
+            TPUDevice().fingerprint()
+            != TPUDevice(typical_power_w=3.0).fingerprint()
+        )
+        assert (
+            FlexNeRFerDevice().fingerprint()
+            != FlexNeRFerDevice(FlexNeRFerConfig(frequency_hz=1e9)).fingerprint()
+        )
+
+    def test_distinct_devices_have_distinct_fingerprints(self):
+        prints = {
+            name: get_device(name).fingerprint()
+            for name in ("flexnerfer", "neurex", "tpu", "nvdla", "rtx-2080-ti")
+        }
+        assert len(set(prints.values())) == len(prints)
+
+    def test_workload_edit_changes_digest(self):
+        base = small_workload()
+        assert workload_digest(base) == workload_digest(small_workload())
+        bigger = small_workload(
+            config=FrameConfig(image_width=200, image_height=100)
+        )
+        assert workload_digest(base) != workload_digest(bigger)
+        assert workload_digest(base) != workload_digest(base.pruned(0.5))
+        assert workload_digest(base) != workload_digest(
+            base.with_precision(Precision.INT4)
+        )
+
+    def test_schema_version_partitions_keys(self):
+        key = make_key()
+        successor = StoreKey(
+            device_fingerprint=key.device_fingerprint,
+            workload_digest=key.workload_digest,
+            precision=key.precision,
+            pruning_ratio=key.pruning_ratio,
+            schema_version=STORE_SCHEMA_VERSION + 1,
+        )
+        assert key.digest != successor.digest
+
+    def test_knobs_partition_keys(self):
+        base = make_key()
+        assert (
+            base.digest
+            != StoreKey(base.device_fingerprint, base.workload_digest, "INT8", 0.0).digest
+        )
+        assert (
+            base.digest
+            != StoreKey(base.device_fingerprint, base.workload_digest, "INT16", 0.5).digest
+        )
+
+
+class TestStoreBasics:
+    def test_get_missing_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).get(make_key()) is None
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = render_small()
+        key = make_key()
+        path = store.put(key, report)
+        assert path.exists()
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.latency_s == report.latency_s
+        assert loaded.energy_j == report.energy_j
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = make_key()
+        old = StoreKey(
+            key.device_fingerprint,
+            key.workload_digest,
+            key.precision,
+            key.pruning_ratio,
+            schema_version=STORE_SCHEMA_VERSION + 1,
+        )
+        store.put(old, render_small())
+        assert store.get(key) is None
+        assert store.stats().stale_entries == 1
+
+    def test_unwritable_store_degrades_to_cold(self, capsys):
+        store = ResultStore("/dev/null/not-a-dir")
+        report = render_small()
+        store.put(make_key(), report)  # must not raise
+        assert "not writable" in capsys.readouterr().err
+        store.put(make_key("b"), report)  # warning printed only once
+        assert capsys.readouterr().err == ""
+        assert store.get(make_key()) is None
+        assert store.stats().entries == 0
+        # A store-attached engine still simulates correctly.
+        engine = SweepEngine(store=store)
+        rows = engine.run(SPEC)
+        assert rows and engine.stats.render_calls > 0
+
+    def test_canonical_digest_rejects_unstable_values(self):
+        from repro.core.device import canonical_digest
+
+        with pytest.raises(TypeError):
+            canonical_digest({"modes": {"INT8", "INT4"}})  # a set
+        with pytest.raises(TypeError):
+            canonical_digest(object())
+
+    def test_corrupt_entry_is_a_miss_and_healed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = make_key()
+        path = store.put(key, render_small())
+        path.write_text("{ truncated")
+        assert store.get(key) is None
+        assert not path.exists()  # dropped so the next put heals the slot
+        store.put(key, render_small())
+        assert store.get(key) is not None
+
+    def test_stats_clear_and_evict(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = render_small()
+        paths = [store.put(make_key(str(i)), report) for i in range(5)]
+        # Distinct mtimes so eviction order is deterministic.
+        for age, path in enumerate(reversed(paths)):
+            stamp = os.path.getmtime(path) - 100 * age
+            os.utime(path, (stamp, stamp))
+        stats = store.stats()
+        assert stats.entries == 5
+        assert stats.total_bytes > 0
+
+        assert store.evict(max_entries=3) == 2
+        assert store.stats().entries == 3
+        assert not paths[0].exists() and not paths[1].exists()  # oldest two
+
+        assert store.evict(max_age_s=150.0) == 1  # only paths[2] is older
+        assert store.stats().entries == 2
+
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+
+    def test_evict_rejects_negative_bounds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_key(), render_small())
+        with pytest.raises(ValueError, match=">= 0"):
+            store.evict(max_entries=-1)
+        with pytest.raises(ValueError, match=">= 0"):
+            store.evict(max_age_s=-5.0)
+        assert store.stats().entries == 1  # nothing was doomed
+
+    def test_evict_drops_stale_schemas(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_key(), render_small())
+        old = StoreKey("fp", "wl", None, 0.0, schema_version=STORE_SCHEMA_VERSION + 1)
+        store.put(old, render_small())
+        assert store.evict() == 1
+        assert store.stats().entries == 1
+        assert store.stats().stale_entries == 0
+
+
+class TestExperimentResultTier:
+    def make_result_key(self, salt="a"):
+        return ExperimentResultKey(
+            experiment_id="fig99",
+            params_fingerprint=f"params-{salt}",
+            environment_digest=f"env-{salt}",
+        )
+
+    def test_key_components_partition_entries(self):
+        base = self.make_result_key()
+        assert base.digest != ExperimentResultKey(
+            "other", base.params_fingerprint, base.environment_digest
+        ).digest
+        assert base.digest != ExperimentResultKey(
+            base.experiment_id, "params-b", base.environment_digest
+        ).digest
+        assert base.digest != ExperimentResultKey(
+            base.experiment_id, base.params_fingerprint, "env-b"
+        ).digest
+        assert base.digest != ExperimentResultKey(
+            base.experiment_id,
+            base.params_fingerprint,
+            base.environment_digest,
+            schema_version=STORE_SCHEMA_VERSION + 1,
+        ).digest
+
+    def test_payload_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = self.make_result_key()
+        assert store.get_result(key) is None
+        payload = {"result": {"rows": [{"x": 1.25}]}, "table": "x\n1.25"}
+        store.put_result(key, payload)
+        assert store.get_result(key) == payload
+
+    def test_frame_and_result_entries_coexist(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_key(), render_small())
+        store.put_result(self.make_result_key(), {"table": "t", "result": {}})
+        assert store.stats().entries == 2
+        assert store.get(make_key()) is not None
+        assert store.get_result(self.make_result_key()) is not None
+
+    def test_registry_digest_is_stable_and_tracks_registration(self):
+        from repro.core.device import DEVICE_REGISTRY, register_device
+
+        assert device_registry_digest() == device_registry_digest()
+        before = device_registry_digest()
+        register_device("store-test-tpu", lambda: TPUDevice(rows=8))
+        try:
+            changed = device_registry_digest()
+        finally:
+            del DEVICE_REGISTRY["store-test-tpu"]
+        assert changed != before
+        assert device_registry_digest() == before
+
+    def test_environment_digest_tracks_model_registry(self):
+        from repro.nerf.models import MODEL_REGISTRY
+        from repro.perf.store import environment_digest, model_registry_digest
+
+        assert model_registry_digest() == model_registry_digest()
+        env_before = environment_digest()
+        MODEL_REGISTRY["store-test-model"] = MODEL_REGISTRY["instant-ngp"]
+        try:
+            assert model_registry_digest() != env_before
+            assert environment_digest() != env_before
+        finally:
+            del MODEL_REGISTRY["store-test-model"]
+        assert environment_digest() == env_before
+
+
+SPEC = SweepSpec(
+    devices=("flexnerfer", "neurex"),
+    models=("instant-ngp",),
+    precisions=(None, Precision.INT8),
+    pruning_ratios=(0.0, 0.5),
+    base_config=SMALL,
+)
+
+
+class TestEngineIntegration:
+    def test_warm_engine_skips_simulation_bit_exactly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = SweepEngine(store=store)
+        cold_rows = cold.run(SPEC)
+        assert cold.stats.render_calls > 0
+        assert cold.stats.store_hits == 0
+        assert cold.stats.store_misses == cold.stats.render_calls
+
+        warm = SweepEngine(store=store)
+        warm_rows = warm.run(SPEC)
+        assert warm.stats.render_calls == 0
+        assert warm.stats.store_hits == cold.stats.render_calls
+        for a, b in zip(cold_rows, warm_rows):
+            assert a.report.latency_s == b.report.latency_s
+            assert a.report.energy_j == b.report.energy_j
+            assert a.report.trace.records == b.report.trace.records
+
+    def test_no_store_engine_is_unaffected(self):
+        engine = SweepEngine()
+        engine.run(SPEC)
+        assert engine.stats.store_hits == 0
+        assert engine.stats.store_misses == 0
+        assert engine.stats.render_calls == engine.stats.report_misses
+
+    def test_attach_store_mid_life(self, tmp_path):
+        engine = SweepEngine()
+        engine.run(SPEC)
+        engine.attach_store(ResultStore(tmp_path))
+        engine.clear()
+        engine.run(SPEC)  # re-simulates, now writing back
+        fresh = SweepEngine(store=ResultStore(tmp_path))
+        fresh.run(SPEC)
+        assert fresh.stats.render_calls == 0
+
+    def test_fleet_simulator_reads_through_store(self, tmp_path):
+        from repro.serve.fleet import FleetSimulator
+        from repro.serve.request import PoissonStream, Scenario, ScenarioMix
+
+        mix = ScenarioMix(
+            scenarios=(Scenario("instant-ngp", scene="lego", width=100, height=100),),
+            weights=(1.0,),
+        )
+        stream = PoissonStream(rate_rps=20.0, duration_s=5.0, mix=mix, sla_s=0.5)
+        requests = stream.generate(seed=0)
+
+        store = ResultStore(tmp_path)
+        cold_engine = SweepEngine(store=store)
+        cold = FleetSimulator(("flexnerfer",), engine=cold_engine).run(requests)
+        assert cold_engine.stats.render_calls > 0
+
+        warm_engine = SweepEngine(store=store)
+        warm = FleetSimulator(("flexnerfer",), engine=warm_engine).run(requests)
+        assert warm_engine.stats.render_calls == 0
+        assert warm.p95_latency_s == cold.p95_latency_s
+        assert warm.energy_per_request_j == cold.energy_per_request_j
+
+    def test_parallel_prefill_uses_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepEngine(store=store).run(SPEC)
+        pool_engine = SweepEngine(max_workers=2, store=store)
+        rows = pool_engine.run(SPEC)
+        assert pool_engine.stats.render_calls == 0
+        assert len(rows) == len(SweepEngine().run(SPEC))
+
+
+class TestConcurrency:
+    def test_concurrent_writers_do_not_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = render_small()
+        keys = [make_key(str(i)) for i in range(4)]
+        errors: list[Exception] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(25):
+                    key = keys[(seed + i) % len(keys)]
+                    store.put(key, report)
+                    loaded = store.get(key)
+                    # A concurrent get may race a replace but never sees a
+                    # partial file: it is either a miss or a full report.
+                    if loaded is not None:
+                        assert loaded.latency_s == report.latency_s
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert not errors
+        stats = store.stats()
+        assert stats.entries == len(keys)
+        for key in keys:
+            assert store.get(key).latency_s == report.latency_s
+
+    def test_concurrent_engines_share_one_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        barrier = threading.Barrier(4)
+        results = []
+
+        def run_one(_: int):
+            engine = SweepEngine(store=store)
+            barrier.wait()
+            results.append(engine.run(SPEC))
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(run_one, range(4)))
+        reference = results[0]
+        for rows in results[1:]:
+            for a, b in zip(reference, rows):
+                assert a.report.latency_s == b.report.latency_s
+                assert a.report.energy_j == b.report.energy_j
+        # The store ends up consistent and warm for a fresh reader.
+        fresh = SweepEngine(store=store)
+        fresh.run(SPEC)
+        assert fresh.stats.render_calls == 0
+
+
+class TestDefaultLocation:
+    def test_env_var_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "custom"))
+        assert ResultStore.default().root == tmp_path / "custom"
+
+    def test_checkout_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        root = ResultStore.default().root
+        assert root.name == ".repro-store"
+        assert (root.parent / "pyproject.toml").exists()
