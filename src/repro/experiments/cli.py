@@ -5,8 +5,14 @@ Usage::
     repro list [--tags frame-sim,hw-cost] [--format table|json]
     repro run <ids|tag:TAG|all> [--format table|json|csv] [--out DIR]
               [--jobs N] [--no-store] [per-experiment param flags]
+    repro shard <ids|tag:TAG|all> --index I --count N [--store DIR]
+                [--pack PATH] [--jobs N] [per-experiment param flags]
+    repro assemble <pack.json ...> [--store DIR] [--run SELECTORS]
+                   [--format table|json|csv] [--out DIR] [--check DIR]
+                   [--no-run] [per-experiment param flags]
     repro docs [--out PATH] [--check]
     repro bench [--quick] [--out PATH] [--validate PATH]
+                [--compare A.json B.json]
     repro cache <stats|clear|evict> [--dir PATH] [--format table|json]
                 [--max-entries N] [--max-age-days D]
 
@@ -17,10 +23,20 @@ Examples::
     repro run tag:serving --format json
     repro run all --format json --out artifacts/ --jobs 4
     repro run all --no-store          # force cold, bypass the result store
+    repro shard all --index 2 --count 4 --store .shard-store \\
+        --pack packs/shard-2.json    # one machine's quarter of the evaluation
+    repro assemble packs/*.json --out assembled/ --check artifacts/
     repro docs --check
     repro bench --quick --out bench/  # emit a BENCH_<rev>.json smoke point
+    repro bench --compare BENCH_a.json BENCH_b.json
     repro cache stats --format json
     repro cache evict --max-entries 5000
+
+``repro shard`` runs the deterministic ``--index``-of-``--count`` subset of
+an experiment selection (partitioned by result-store cache key), persisting
+every frame and result entry it produces; ``repro assemble`` merges the
+shards' exported packs back into one store and replays the full selection
+store-warm -- see ``docs/distributed.md`` for the scaling recipe.
 
 Every selected experiment's typed parameters are exposed as ``--flag value``
 options (``repro list --format json`` shows them); a flag applies to every
@@ -115,6 +131,33 @@ COMMANDS: tuple[CommandSpec, ...] = (
         ),
     ),
     CommandSpec(
+        "shard",
+        "run one deterministic shard of an experiment set into the store",
+        operands=(("selectors", "experiment ids, tag:TAG groups, or 'all'"),),
+        options=(
+            CommandOption("--index", "I", "this shard's index, in [0, count)"),
+            CommandOption("--count", "N", "total number of shards"),
+            CommandOption("--store", "DIR", "result store to populate (default: $REPRO_STORE_DIR or .repro-store)"),
+            CommandOption("--pack", "PATH", "export the populated store as a portable pack file (whole store: use a fresh --store for a minimal pack)"),
+            CommandOption("--jobs", "N", "run up to N of the shard's experiments concurrently"),
+            CommandOption("--<param>", "VALUE", "any selected experiment's typed parameter"),
+        ),
+    ),
+    CommandSpec(
+        "assemble",
+        "merge shard packs into one store and replay the results store-warm",
+        operands=(("packs", "pack files written by 'repro shard --pack'"),),
+        options=(
+            CommandOption("--store", "DIR", "store to merge into (default: $REPRO_STORE_DIR or .repro-store)"),
+            CommandOption("--run", "SELECTORS", "experiments to replay after merging (default: all)"),
+            CommandOption("--format", "table|json|csv", "output rendering (default: json)"),
+            CommandOption("--out", "DIR", "write one artifact file per experiment"),
+            CommandOption("--check", "DIR", "verify replayed artifacts match a reference directory (wall-clock field excluded)"),
+            CommandOption("--no-run", "", "merge only; skip the replay"),
+            CommandOption("--<param>", "VALUE", "typed parameter for the replay (pass the same values the shards used)"),
+        ),
+    ),
+    CommandSpec(
         "docs",
         "regenerate the experiment catalog (docs/experiments.md)",
         options=(
@@ -129,6 +172,7 @@ COMMANDS: tuple[CommandSpec, ...] = (
             CommandOption("--quick", "", "CI-smoke footprint (small sweep, 3 experiments)"),
             CommandOption("--out", "PATH", "output file or directory (default: checkout root)"),
             CommandOption("--validate", "PATH", "schema-check an existing BENCH file instead of measuring"),
+            CommandOption("--compare", "A.json B.json", "print regression deltas between two BENCH documents (matched quick flags)"),
         ),
     ),
     CommandSpec(
@@ -174,6 +218,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_list(rest)
         if command == "run":
             return _cmd_run(rest)
+        if command == "shard":
+            return _cmd_shard(rest)
+        if command == "assemble":
+            return _cmd_assemble(rest)
         if command == "docs":
             return _cmd_docs(rest)
         if command == "bench":
@@ -292,25 +340,54 @@ def _cmd_docs(args: list[str]) -> int:
 # -- repro bench --------------------------------------------------------------
 
 
-def _cmd_bench(args: list[str]) -> int:
-    """Measure (or, with ``--validate``, schema-check) a BENCH document."""
+def _read_json_file(path: Path, what: str) -> Any:
+    """Load one JSON file, surfacing any problem as a one-line CLI error."""
     import json
 
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise CLIError(f"no such {what}: {path}") from None
+    except OSError as exc:
+        raise CLIError(f"cannot read {what} {path}: {exc}") from None
+    except ValueError as exc:
+        raise CLIError(f"{path} is not valid JSON: {exc}") from None
+
+
+def _extract_compare(args: list[str]) -> tuple[list[str], tuple[str, str] | None]:
+    """Split the two-path ``--compare A B`` option out of a bench arg list."""
+    if "--compare" not in args:
+        return args, None
+    at = args.index("--compare")
+    values = args[at + 1 : at + 3]
+    if len(values) < 2 or any(v.startswith("--") for v in values):
+        raise CLIError("--compare needs two BENCH file paths")
+    return args[:at] + args[at + 3 :], (values[0], values[1])
+
+
+def _cmd_bench(args: list[str]) -> int:
+    """Measure, schema-check (``--validate``) or diff (``--compare``) BENCH documents."""
     from repro.perf.bench import run_bench, validate_bench, write_bench
 
     quick = "--quick" in args
     args = [a for a in args if a != "--quick"]
+    args, compare_paths = _extract_compare(args)
     options = _parse_options(args, flags=("--out", "--validate"))
+    if compare_paths is not None:
+        from repro.perf.bench import compare_bench, render_compare
+
+        baseline, current = (
+            _read_json_file(Path(p), "BENCH file") for p in compare_paths
+        )
+        try:
+            comparison = compare_bench(baseline, current)
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+        print(render_compare(comparison))
+        return 0
     if "--validate" in options:
         path = Path(options["--validate"])
-        try:
-            document = json.loads(path.read_text())
-        except FileNotFoundError:
-            raise CLIError(f"no such BENCH file: {path}") from None
-        except OSError as exc:
-            raise CLIError(f"cannot read BENCH file {path}: {exc}") from None
-        except ValueError as exc:
-            raise CLIError(f"{path} is not valid JSON: {exc}") from None
+        document = _read_json_file(path, "BENCH file")
         problems = validate_bench(document)
         if problems:
             for problem in problems:
@@ -417,42 +494,38 @@ def _cmd_cache(args: list[str]) -> int:
 # -- repro run ----------------------------------------------------------------
 
 
-def _configure_store(no_store: bool) -> None:
-    """Attach (or detach, with ``--no-store``) the default persistent store.
+def _attach_store(store_dir: str | None = None):
+    """Attach the persistent store (default, or rooted at ``store_dir``).
 
     The store rides on the shared process-wide engine, so serving
     experiments and figure sweeps read through the same cache the previous
-    ``repro run`` populated.
+    ``repro run`` populated.  Returns the attached
+    :class:`~repro.perf.store.ResultStore`.
     """
     from repro.perf.store import ResultStore
     from repro.sim.sweep import get_default_engine
 
-    get_default_engine().attach_store(
-        None if no_store else ResultStore.default()
-    )
+    store = ResultStore(Path(store_dir)) if store_dir else ResultStore.default()
+    get_default_engine().attach_store(store)
+    return store
+
+
+def _configure_store(no_store: bool) -> None:
+    """Attach (or detach, with ``--no-store``) the default persistent store."""
+    if no_store:
+        from repro.sim.sweep import get_default_engine
+
+        get_default_engine().attach_store(None)
+    else:
+        _attach_store(None)
 
 
 def _cmd_run(args: list[str]) -> int:
-    selectors: list[str] = []
-    options: dict[str, str] = {}
-    param_tokens: list[tuple[str, str]] = []
-    no_store = False
-    i = 0
-    while i < len(args):
-        token = args[i]
-        if token == "--no-store":
-            no_store = True
-            i += 1
-        elif token.startswith("--"):
-            flag, value, consumed = _flag_value(args, i)
-            if flag in ("--format", "--out", "--jobs"):
-                options[flag] = value
-            else:
-                param_tokens.append((flag, value))
-            i += consumed
-        else:
-            selectors.append(token)
-            i += 1
+    no_store = "--no-store" in args
+    args = [a for a in args if a != "--no-store"]
+    selectors, options, param_tokens = _split_args(
+        args, ("--format", "--out", "--jobs"), collect_params=True
+    )
     if not selectors:
         raise CLIError("no experiments selected; pass ids, tag:TAG or 'all'")
 
@@ -474,6 +547,126 @@ def _cmd_run(args: list[str]) -> int:
     return 0
 
 
+# -- repro shard / repro assemble ---------------------------------------------
+
+
+def _parse_int_option(options: dict[str, str], flag: str) -> int:
+    """The required integer value of ``flag``, as a one-line error otherwise."""
+    if flag not in options:
+        raise CLIError(f"missing required option {flag}")
+    try:
+        return int(options[flag])
+    except ValueError:
+        raise CLIError(f"{flag}: invalid int '{options[flag]}'") from None
+
+
+def _cmd_shard(args: list[str]) -> int:
+    """Run one deterministic shard of an experiment selection into the store."""
+    from repro.perf.distributed import Shard, shard_experiments
+
+    selectors, options, param_tokens = _split_args(
+        args,
+        ("--index", "--count", "--store", "--pack", "--jobs"),
+        collect_params=True,
+    )
+    if not selectors:
+        raise CLIError("no experiments selected; pass ids, tag:TAG or 'all'")
+    try:
+        shard = Shard(
+            _parse_int_option(options, "--index"),
+            _parse_int_option(options, "--count"),
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    jobs = _parse_jobs(options.get("--jobs", "1"))
+    store = _attach_store(options.get("--store"))
+
+    experiments = _select(selectors)
+    overrides = _resolve_param_flags(param_tokens, experiments)
+    mine = shard_experiments(experiments, shard, overrides)
+    print(
+        f"shard {shard.index}/{shard.count}: {len(mine)} of "
+        f"{len(experiments)} selected experiments -> {store.root}"
+    )
+    results = run_many(mine, overrides, jobs=jobs)
+    for result in results:
+        print(f"  {result.experiment_id} ({result.provenance.wall_time_s:.1f}s)")
+    if "--pack" in options:
+        path = store.export_pack(Path(options["--pack"]))
+        print(f"wrote pack {path} ({store.stats().entries} store entries)")
+    return 0
+
+
+def _cmd_assemble(args: list[str]) -> int:
+    """Merge shard packs into one store and replay the results store-warm."""
+    from repro.perf.distributed import assemble_packs, normalize_result_json
+    from repro.perf.store import PackConflictError
+
+    no_run = "--no-run" in args
+    args = [a for a in args if a != "--no-run"]
+    packs, options, param_tokens = _split_args(
+        args,
+        ("--store", "--run", "--format", "--out", "--check"),
+        collect_params=True,
+    )
+    if not packs:
+        raise CLIError(
+            "no shard packs given; pass pack files written by 'repro shard --pack'"
+        )
+    if no_run and param_tokens:
+        raise CLIError(
+            "--<param> flags apply to the replay; drop --no-run to use them"
+        )
+    fmt = options.get("--format", "json")
+    if fmt not in RUN_FORMATS:
+        raise CLIError(f"invalid format '{fmt}'; valid: {', '.join(RUN_FORMATS)}")
+
+    store = _attach_store(options.get("--store"))
+    try:
+        stats = assemble_packs(store, [Path(p) for p in packs])
+    except (PackConflictError, ValueError) as exc:
+        raise CLIError(str(exc)) from None
+    print(
+        f"merged {len(packs)} pack(s) into {store.root}: {stats.added} added, "
+        f"{stats.identical} identical, {stats.skipped} skipped"
+    )
+    if no_run:
+        return 0
+
+    selectors = [s for s in options.get("--run", "all").split(",") if s]
+    experiments = _select(selectors)
+    # The result-tier keys hash parameter values, so the replay must carry
+    # the same overrides the shard runs were given.
+    overrides = _resolve_param_flags(param_tokens, experiments)
+    results = run_many(experiments, overrides)
+    if "--out" in options:
+        _write_artifacts(results, fmt, Path(options["--out"]))
+    if "--check" in options:
+        reference = Path(options["--check"])
+        mismatches = []
+        for result in results:
+            path = reference / f"{result.experiment_id}.{_EXTENSIONS[fmt]}"
+            text = _render(result, fmt)
+            text = text if text.endswith("\n") else text + "\n"
+            if not path.exists():
+                mismatches.append(f"{path}: missing from reference")
+            elif normalize_result_json(path.read_text()) != normalize_result_json(
+                text
+            ):
+                mismatches.append(f"{path}: assembled output differs")
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"error: {mismatch}", file=sys.stderr)
+            return 1
+        print(
+            f"assembled output matches {reference} for "
+            f"{len(results)} experiment(s)"
+        )
+    if "--out" not in options and "--check" not in options:
+        _print_results(results, fmt, sys.stdout)
+    return 0
+
+
 def _flag_value(args: list[str], i: int) -> tuple[str, str, int]:
     token = args[i]
     if "=" in token:
@@ -482,6 +675,40 @@ def _flag_value(args: list[str], i: int) -> tuple[str, str, int]:
     if i + 1 >= len(args) or args[i + 1].startswith("--"):
         raise CLIError(f"missing value for {token}")
     return token, args[i + 1], 2
+
+
+def _split_args(
+    args: list[str],
+    known_flags: tuple[str, ...],
+    collect_params: bool = False,
+) -> tuple[list[str], dict[str, str], list[tuple[str, str]]]:
+    """Split raw args into positionals, known options and param flags.
+
+    Flags outside ``known_flags`` are collected as per-experiment parameter
+    tokens when ``collect_params`` is set and rejected with a one-line
+    error otherwise.
+    """
+    positionals: list[str] = []
+    options: dict[str, str] = {}
+    param_tokens: list[tuple[str, str]] = []
+    i = 0
+    while i < len(args):
+        token = args[i]
+        if token.startswith("--"):
+            flag, value, consumed = _flag_value(args, i)
+            if flag in known_flags:
+                options[flag] = value
+            elif collect_params:
+                param_tokens.append((flag, value))
+            else:
+                raise CLIError(
+                    f"unknown option '{flag}'; valid: {', '.join(known_flags)}"
+                )
+            i += consumed
+        else:
+            positionals.append(token)
+            i += 1
+    return positionals, options, param_tokens
 
 
 def _parse_jobs(text: str) -> int:
@@ -546,17 +773,10 @@ def _result_store():
 
 
 def _experiment_key(exp: Experiment, overrides: dict[str, Any]):
-    """Content address of one experiment invocation, or None on bad params."""
-    from repro.experiments.api import config_fingerprint
-    from repro.perf.store import ExperimentResultKey, environment_digest
+    """Content address of one experiment invocation (the result-tier key)."""
+    from repro.perf.distributed import experiment_result_key
 
-    values = exp.resolve_params(overrides)
-    params_json = {p.name: p.to_json(values[p.name]) for p in exp.params}
-    return ExperimentResultKey(
-        experiment_id=exp.id,
-        params_fingerprint=config_fingerprint(exp.id, params_json),
-        environment_digest=environment_digest(),
-    )
+    return experiment_result_key(exp, overrides)
 
 
 def _cached_result(exp: Experiment, payload: dict[str, Any]) -> ExperimentResult:

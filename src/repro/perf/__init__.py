@@ -12,28 +12,56 @@ Two concerns live here, both documented in ``docs/performance.md``:
   vs. warm sweep timing, per-experiment wall time, fleet-simulator
   throughput and hot-path microbenchmarks, emitted as a schema-versioned
   ``BENCH_<rev>.json`` trajectory point.
+* :mod:`repro.perf.distributed` -- deterministic sharding of sweeps and
+  experiment sets by store cache key, plus pack-and-merge assembly: the
+  machinery behind ``repro shard`` / ``repro assemble`` and the CI shard
+  matrix (``docs/distributed.md``).
 """
 
 from repro.perf.store import (
+    PACK_SCHEMA_VERSION,
     STORE_SCHEMA_VERSION,
     ExperimentResultKey,
+    MergeStats,
+    PackConflictError,
     ResultStore,
     StoreKey,
     device_registry_digest,
     environment_digest,
     model_registry_digest,
 )
-from repro.perf.bench import BENCH_SCHEMA_VERSION, run_bench, validate_bench
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_bench,
+    run_bench,
+    validate_bench,
+)
+from repro.perf.distributed import (
+    Shard,
+    assemble_packs,
+    shard_experiments,
+    shard_index,
+    shard_of,
+)
 
 __all__ = [
+    "PACK_SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
     "ExperimentResultKey",
+    "MergeStats",
+    "PackConflictError",
     "ResultStore",
     "StoreKey",
     "device_registry_digest",
     "environment_digest",
     "model_registry_digest",
     "BENCH_SCHEMA_VERSION",
+    "compare_bench",
     "run_bench",
     "validate_bench",
+    "Shard",
+    "assemble_packs",
+    "shard_experiments",
+    "shard_index",
+    "shard_of",
 ]

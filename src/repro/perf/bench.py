@@ -380,6 +380,146 @@ def validate_bench(document: Any) -> list[str]:
     return problems
 
 
+#: Headline metrics ``compare_bench`` reports: (dotted path, higher-is-better).
+_COMPARE_METRICS: tuple[tuple[str, bool], ...] = (
+    ("sweep.cold_s", False),
+    ("sweep.warm_memory_s", False),
+    ("sweep.warm_store_s", False),
+    ("sweep.warm_store_speedup", True),
+    ("serving.requests_per_wall_s", True),
+    ("serving.time_compression", True),
+    ("hot_path.tiling.speedup", True),
+    ("hot_path.operand_bytes.speedup", True),
+)
+
+
+def _lookup(document: dict[str, Any], dotted: str) -> float | None:
+    """Resolve a dotted metric path in ``document`` (None when absent)."""
+    node: Any = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _delta_pct(baseline: float, current: float) -> float | None:
+    """Percentage change of ``current`` over ``baseline`` (None at zero)."""
+    if baseline == 0:
+        return None
+    return (current - baseline) / baseline * 100.0
+
+
+def compare_bench(
+    baseline: dict[str, Any], current: dict[str, Any]
+) -> dict[str, Any]:
+    """Regression deltas of ``current`` relative to ``baseline``.
+
+    Both documents must validate and carry matching ``quick`` flags
+    (comparing a smoke point against a full trajectory point is
+    meaningless); mismatches raise ValueError.  Differing ``platform`` /
+    ``python`` fields do not block the comparison -- the numbers may still
+    be wanted across machines -- but are surfaced as warnings, since
+    absolute times only regress meaningfully on the same machine class.
+
+    Returns a JSON-safe report: headline ``metrics`` (value in each
+    document, percentage delta, and whether the movement is a regression
+    for that metric's direction) plus per-experiment wall-time deltas
+    matched by id.
+    """
+    for label, document in (("baseline", baseline), ("current", current)):
+        problems = validate_bench(document)
+        if problems:
+            raise ValueError(f"{label} document is not a valid BENCH: {problems[0]}")
+    if baseline["quick"] != current["quick"]:
+        raise ValueError(
+            "cannot compare across quick flags "
+            f"(baseline quick={baseline['quick']}, current quick={current['quick']})"
+        )
+    warnings = [
+        f"{field} differs ({baseline[field]} vs {current[field]}); "
+        "absolute times are not comparable across machines"
+        for field in ("platform", "python")
+        if baseline[field] != current[field]
+    ]
+    metrics = []
+    for dotted, higher_is_better in _COMPARE_METRICS:
+        value_a = _lookup(baseline, dotted)
+        value_b = _lookup(current, dotted)
+        if value_a is None or value_b is None:  # pragma: no cover - validated
+            continue
+        delta = _delta_pct(value_a, value_b)
+        metrics.append(
+            {
+                "metric": dotted,
+                "baseline": value_a,
+                "current": value_b,
+                "delta_pct": delta,
+                "regression": (
+                    value_b < value_a if higher_is_better else value_b > value_a
+                ),
+            }
+        )
+    walls_a = {row["id"]: row["wall_time_s"] for row in baseline["experiments"]}
+    walls_b = {row["id"]: row["wall_time_s"] for row in current["experiments"]}
+    experiments = [
+        {
+            "id": exp_id,
+            "baseline": walls_a[exp_id],
+            "current": walls_b[exp_id],
+            "delta_pct": _delta_pct(walls_a[exp_id], walls_b[exp_id]),
+        }
+        for exp_id in walls_a
+        if exp_id in walls_b
+    ]
+    return {
+        "baseline_revision": baseline["revision"],
+        "current_revision": current["revision"],
+        "quick": bool(baseline["quick"]),
+        "warnings": warnings,
+        "metrics": metrics,
+        "experiments": experiments,
+        "unmatched_experiments": sorted(set(walls_a) ^ set(walls_b)),
+    }
+
+
+def render_compare(comparison: dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`compare_bench` report."""
+    lines = [
+        f"BENCH compare: {comparison['baseline_revision']} -> "
+        f"{comparison['current_revision']}"
+        + (" (quick smoke points)" if comparison["quick"] else "")
+    ]
+    lines += [f"warning: {warning}" for warning in comparison["warnings"]]
+    lines += [
+        "",
+        f"{'metric':<34} {'baseline':>12} {'current':>12} {'delta':>9}",
+    ]
+    for row in comparison["metrics"]:
+        delta = row["delta_pct"]
+        delta_text = f"{delta:+8.1f}%" if delta is not None else "      n/a"
+        marker = "  <-- regression" if row["regression"] else ""
+        lines.append(
+            f"{row['metric']:<34} {row['baseline']:>12.4g} "
+            f"{row['current']:>12.4g} {delta_text}{marker}"
+        )
+    if comparison["experiments"]:
+        lines += ["", "experiment wall times (s):"]
+        for row in comparison["experiments"]:
+            delta = row["delta_pct"]
+            delta_text = f"{delta:+8.1f}%" if delta is not None else "      n/a"
+            lines.append(
+                f"  {row['id']:<32} {row['baseline']:>12.3f} "
+                f"{row['current']:>12.3f} {delta_text}"
+            )
+    if comparison["unmatched_experiments"]:
+        lines.append(
+            "only in one document: "
+            + ", ".join(comparison["unmatched_experiments"])
+        )
+    return "\n".join(lines)
+
+
 def bench_filename(revision: str) -> str:
     """Canonical trajectory filename for a document measured at ``revision``."""
     return f"BENCH_{revision}.json"

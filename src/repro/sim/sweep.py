@@ -286,6 +286,10 @@ class SweepEngine:
         """The persistent-store address of one report-cache key (lock held)."""
         if self.store is None:
             return None
+        return self._content_key(key, workload)
+
+    def _content_key(self, key: ReportKey, workload: "Workload") -> "StoreKey":
+        """Build the content address of one report-cache key (lock held)."""
         from repro.perf.store import StoreKey
 
         device_name, workload_fp, precision, pruning = key
@@ -304,6 +308,24 @@ class SweepEngine:
             pruning_ratio=pruning,
         )
 
+    def frame_store_key(
+        self,
+        device_name: str,
+        workload: "Workload",
+        precision: Precision | None = None,
+        pruning_ratio: float = 0.0,
+    ) -> "StoreKey":
+        """Content address of one simulation, independent of any attached store.
+
+        This is the digest distributed sharding partitions on
+        (:mod:`repro.perf.distributed`): it hashes the device fingerprint,
+        the workload digest and the *effective* knobs, so every machine
+        computes the same address for the same simulated content.
+        """
+        key = self.report_key(device_name, workload, precision, pruning_ratio)
+        with self._lock:
+            return self._content_key(key, workload)
+
     # -- sweep execution ------------------------------------------------------
 
     def _combos(self, spec: SweepSpec):
@@ -317,10 +339,39 @@ class SweepEngine:
             spec.pruning_ratios,
         )
 
-    def run(self, spec: SweepSpec) -> list[SweepResult]:
-        """Execute the sweep and return one :class:`SweepResult` per point."""
+    def _in_shard(
+        self,
+        shard: tuple[int, int],
+        device_name: str,
+        workload: "Workload",
+        precision: Precision | None,
+        pruning: float,
+    ) -> bool:
+        """Whether one sweep point's store content address lands in ``shard``."""
+        from repro.perf.distributed import shard_of
+
+        index, count = shard
+        key = self.frame_store_key(device_name, workload, precision, pruning)
+        return shard_of(key, index, count)
+
+    def run(
+        self, spec: SweepSpec, shard: tuple[int, int] | None = None
+    ) -> list[SweepResult]:
+        """Execute the sweep and return one :class:`SweepResult` per point.
+
+        ``shard`` (an ``(index, count)`` pair or a
+        :class:`repro.perf.distributed.Shard`) restricts enumeration to the
+        sweep points whose persistent-store content address lands in that
+        shard: points that collapse to one cached simulation share one
+        address, so the shards of a spec are disjoint and collectively
+        reproduce the unsharded row list exactly.
+        """
+        if shard is not None:
+            index, count = shard  # accepts Shard or a plain tuple
+            if not 0 <= index < count:
+                raise ValueError(f"shard index must be in [0, {count}), got {index}")
         if self.max_workers and self.max_workers > 1:
-            self._prefill_parallel(spec)
+            self._prefill_parallel(spec, shard)
         rows: list[SweepResult] = []
         for device_name, model, scene, batch, precision, pruning in self._combos(spec):
             device = self.device(device_name)
@@ -333,6 +384,10 @@ class SweepEngine:
                 else spec.resolve_config(scene, None)
             )
             workload = self.workload(model, sim_config)
+            if shard is not None and not self._in_shard(
+                shard, device_name, workload, precision, pruning
+            ):
+                continue
             report = self.frame_report(
                 device_name,
                 workload=workload,
@@ -354,7 +409,9 @@ class SweepEngine:
             )
         return rows
 
-    def _prefill_parallel(self, spec: SweepSpec) -> None:
+    def _prefill_parallel(
+        self, spec: SweepSpec, shard: tuple[int, int] | None = None
+    ) -> None:
         """Simulate the sweep's unique cache misses across a process pool."""
         pending: dict[ReportKey, tuple[str, "Workload"]] = {}
         for device_name, model, scene, batch, precision, pruning in self._combos(spec):
@@ -363,6 +420,10 @@ class SweepEngine:
                 scene, batch if device.supports_batching else None
             )
             workload = self.workload(model, config)
+            if shard is not None and not self._in_shard(
+                shard, device_name, workload, precision, pruning
+            ):
+                continue
             key = self.report_key(device_name, workload, precision, pruning)
             with self._lock:
                 if key not in self._reports and key not in pending:

@@ -22,6 +22,7 @@ ENFORCED_MODULES = (
     "repro.perf",
     "repro.perf.store",
     "repro.perf.bench",
+    "repro.perf.distributed",
     "repro.serve",
     "repro.serve.request",
     "repro.serve.scheduler",

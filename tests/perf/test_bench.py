@@ -15,6 +15,8 @@ from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
     bench_filename,
     bench_hot_path,
+    compare_bench,
+    render_compare,
     repo_revision,
     run_bench,
     validate_bench,
@@ -177,3 +179,85 @@ class TestBenchCLI:
     def test_unknown_option(self, capsys):
         assert cli.main(["bench", "--frobnicate", "1"]) == 2
         assert "unknown option" in capsys.readouterr().err
+
+
+def variant_of(document, **edits):
+    """A deep-ish copy of ``document`` with top-level section dicts replaced."""
+    clone = json.loads(json.dumps(document))
+    for dotted, value in edits.items():
+        node = clone
+        parts = dotted.split("__")
+        for part in parts[:-1]:
+            node = node[part]
+        node[parts[-1]] = value
+    return clone
+
+
+class TestCompareBench:
+    def test_reports_deltas_and_regressions(self, quick_document):
+        slower = variant_of(
+            quick_document,
+            revision="other",
+            sweep__cold_s=quick_document["sweep"]["cold_s"] * 2,
+        )
+        comparison = compare_bench(quick_document, slower)
+        assert comparison["baseline_revision"] == quick_document["revision"]
+        assert comparison["current_revision"] == "other"
+        by_metric = {row["metric"]: row for row in comparison["metrics"]}
+        cold = by_metric["sweep.cold_s"]
+        assert cold["regression"] is True
+        assert cold["delta_pct"] == pytest.approx(100.0)
+        # A *higher* speedup is an improvement, not a regression.
+        assert by_metric["sweep.warm_store_speedup"]["regression"] is False
+        ids = {row["id"] for row in comparison["experiments"]}
+        assert ids == {row["id"] for row in quick_document["experiments"]}
+        assert comparison["unmatched_experiments"] == []
+
+    def test_mismatched_quick_flags_rejected(self, quick_document):
+        full = variant_of(quick_document, quick=False)
+        with pytest.raises(ValueError, match="quick"):
+            compare_bench(quick_document, full)
+
+    def test_invalid_document_rejected(self, quick_document):
+        broken = variant_of(quick_document)
+        del broken["sweep"]
+        with pytest.raises(ValueError, match="not a valid BENCH"):
+            compare_bench(quick_document, broken)
+
+    def test_platform_mismatch_warns(self, quick_document):
+        other = variant_of(quick_document, platform="hypothetical-os")
+        comparison = compare_bench(quick_document, other)
+        assert any("platform differs" in w for w in comparison["warnings"])
+
+    def test_render_lists_metrics(self, quick_document):
+        text = render_compare(compare_bench(quick_document, quick_document))
+        assert "sweep.cold_s" in text
+        assert "regression" not in text  # identical documents regress nothing
+
+    def test_cli_compare(self, quick_document, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(quick_document))
+        b.write_text(
+            json.dumps(
+                variant_of(
+                    quick_document,
+                    sweep__cold_s=quick_document["sweep"]["cold_s"] * 2,
+                )
+            )
+        )
+        assert cli.main(["bench", "--compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH compare" in out and "sweep.cold_s" in out
+
+    def test_cli_compare_needs_two_paths(self, tmp_path, capsys):
+        assert cli.main(["bench", "--compare", str(tmp_path / "a.json")]) == 2
+        assert "two BENCH file paths" in capsys.readouterr().err
+
+    def test_cli_compare_mismatch_exits_2(self, quick_document, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(quick_document))
+        b.write_text(json.dumps(variant_of(quick_document, quick=False)))
+        assert cli.main(["bench", "--compare", str(a), str(b)]) == 2
+        assert "quick" in capsys.readouterr().err
