@@ -12,7 +12,7 @@ Usage::
                    [--no-run] [per-experiment param flags]
     repro docs [--out PATH] [--check]
     repro bench [--quick] [--out PATH] [--validate PATH]
-                [--compare A.json B.json]
+                [--compare A.json B.json] [--trend [--dir PATH]]
     repro cache <stats|clear|evict> [--dir PATH] [--format table|json]
                 [--max-entries N] [--max-age-days D]
 
@@ -169,10 +169,12 @@ COMMANDS: tuple[CommandSpec, ...] = (
         "bench",
         "measure a BENCH_<rev>.json performance trajectory point",
         options=(
-            CommandOption("--quick", "", "CI-smoke footprint (small sweep, 3 experiments)"),
+            CommandOption("--quick", "", "CI-smoke footprint (small sweep, 5 experiments)"),
             CommandOption("--out", "PATH", "output file or directory (default: checkout root)"),
             CommandOption("--validate", "PATH", "schema-check an existing BENCH file instead of measuring"),
             CommandOption("--compare", "A.json B.json", "print regression deltas between two BENCH documents (matched quick flags)"),
+            CommandOption("--trend", "", "render the committed BENCH_*.json trajectory as one scoreboard row per point"),
+            CommandOption("--dir", "PATH", "trend: directory holding the BENCH_*.json points (default: checkout root)"),
         ),
     ),
     CommandSpec(
@@ -366,13 +368,32 @@ def _extract_compare(args: list[str]) -> tuple[list[str], tuple[str, str] | None
 
 
 def _cmd_bench(args: list[str]) -> int:
-    """Measure, schema-check (``--validate``) or diff (``--compare``) BENCH documents."""
+    """Measure, schema-check (``--validate``), diff (``--compare``) or
+    scoreboard (``--trend``) BENCH documents."""
     from repro.perf.bench import run_bench, validate_bench, write_bench
 
     quick = "--quick" in args
     args = [a for a in args if a != "--quick"]
+    trend = "--trend" in args
+    args = [a for a in args if a != "--trend"]
     args, compare_paths = _extract_compare(args)
-    options = _parse_options(args, flags=("--out", "--validate"))
+    options = _parse_options(args, flags=("--out", "--validate", "--dir"))
+    if trend:
+        from repro.perf.bench import (
+            default_bench_dir,
+            load_bench_documents,
+            render_trend,
+            trend_report,
+        )
+
+        directory = (
+            Path(options["--dir"]) if "--dir" in options else default_bench_dir()
+        )
+        if not directory.is_dir():
+            raise CLIError(f"no such trend directory: {directory}")
+        documents = [doc for _, doc in load_bench_documents(directory)]
+        print(render_trend(trend_report(documents)))
+        return 0 if documents else 1
     if compare_paths is not None:
         from repro.perf.bench import compare_bench, render_compare
 

@@ -17,6 +17,7 @@ from repro.nerf.hashgrid import HashGridConfig
 from repro.nerf.rays import Camera
 from repro.nerf.renderer import InstantNGPRenderer
 from repro.nerf.scenes import get_scene
+from repro.sim.sweep import get_default_engine
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,9 @@ def run(
     """Render each scene with the fitted Instant-NGP model and record sparsity."""
     rows = []
     camera = Camera(width=image_size, height=image_size, focal=image_size * 1.2)
+    # Fitted grids are cached in the result store's asset tier (when the
+    # process-wide engine carries one), so warm runs skip fitting entirely.
+    store = get_default_engine().store
     for scene_name in scenes:
         scene = get_scene(scene_name)
         renderer = InstantNGPRenderer(
@@ -68,7 +72,7 @@ def run(
                 max_resolution=64,
             )
         )
-        renderer.fit_to_scene(scene)
+        renderer.fit_to_scene(scene, store=store)
         renderer.render(camera, num_samples=num_samples)
         stage = renderer.stats.stage_sparsity
         rows.append(

@@ -115,8 +115,14 @@ class MLP:
             )
         return cls(layers=layers)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        for layer in self.layers:
+    def forward(self, x: np.ndarray, start: int = 0) -> np.ndarray:
+        """Run ``x`` through the layers from ``start`` onwards.
+
+        ``start`` lets callers that already hold an intermediate activation
+        (e.g. layer 0's output, recorded for sparsity stats) resume the
+        stack without recomputing the earlier layers.
+        """
+        for layer in self.layers[start:]:
             x = layer.forward(x)
         return x
 

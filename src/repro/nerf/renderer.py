@@ -15,10 +15,13 @@ each stage, which backs the Fig. 13(a) experiment.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.device import canonical_digest
 from repro.nerf.hashgrid import HashGrid, HashGridConfig
 from repro.nerf.mlp import MLP
 from repro.nerf.positional import positional_encoding
@@ -29,6 +32,9 @@ from repro.quant.outlier import outlier_quantize
 from repro.quant.quantize import quantize
 from repro.sparse.formats import Precision
 from repro.sparse.tensor import sparsity_ratio
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.store import GridAssetKey, ResultStore
 
 
 def render_reference(
@@ -43,10 +49,28 @@ def render_reference(
     points, t_values = sample_along_rays(
         origins, directions, num_samples, stratified=False, rng=rng
     )
-    densities = scene.density(points)
-    colors = scene.color(points)
+    densities, colors, _ = scene.fields(points)
     image = composite_rays(colors, densities, t_values)
     return image.reshape(camera.height, camera.width, 3)
+
+
+@dataclass(frozen=True)
+class RenderPlan:
+    """The precision-independent half of an Instant-NGP render.
+
+    Produced by :meth:`InstantNGPRenderer.prepare_render`: rays, depth
+    samples, the occupancy mask and the FP32 feature matrix.  A plan is
+    immutable and reusable -- :meth:`InstantNGPRenderer.render_prepared`
+    consumes it once per quantization setting without re-running ray
+    generation, occupancy or the hash-grid encode.
+    """
+
+    camera: Camera
+    t_values: np.ndarray
+    num_rays: int
+    samples: int
+    occupied: np.ndarray
+    features: np.ndarray
 
 
 @dataclass
@@ -159,9 +183,35 @@ class InstantNGPRenderer:
 
     # -- fitting -------------------------------------------------------------
 
-    def fit_to_scene(self, scene: SyntheticScene) -> None:
-        """Populate the hash tables from the scene's density / colour fields."""
+    def asset_key(self, scene: SyntheticScene) -> "GridAssetKey":
+        """Asset-tier store key of this grid config fitted to ``scene``."""
+        from repro.perf.store import GridAssetKey
+
+        return GridAssetKey(
+            scene_fingerprint=scene.fingerprint(),
+            grid_fingerprint=canonical_digest(dataclasses.asdict(self.config)),
+        )
+
+    def fit_to_scene(
+        self, scene: SyntheticScene, store: "ResultStore | None" = None
+    ) -> None:
+        """Populate the hash tables from the scene's density / colour fields.
+
+        With a ``store``, fitted tables are read from / written to the
+        store's asset tier (keyed on scene fingerprint + grid config): a
+        warm fit is a JSON load, not a field sweep, and reloads the exact
+        IEEE-754 doubles the cold fit produced.
+        """
         self.scene = scene
+        if store is not None:
+            key = self.asset_key(scene)
+            payload = store.get_asset(key)
+            tables = payload.get("tables") if payload else None
+            if isinstance(tables, list) and len(tables) == self.config.num_levels:
+                self.grid.tables = [
+                    np.asarray(table, dtype=np.float64) for table in tables
+                ]
+                return
         low, high = scene.bounds
         for level in range(self.config.num_levels):
             resolution = self.config.resolution(level)
@@ -170,8 +220,10 @@ class InstantNGPRenderer:
             gx, gy, gz = np.meshgrid(axis, axis, axis, indexing="ij")
             vertices01 = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3)
             vertices_world = low + vertices01 * (high - low)
-            density = scene.density(vertices_world) / 30.0
-            color = scene.color(vertices_world)
+            # One fused field pass per level instead of separate density and
+            # colour sweeps over the same vertices.
+            raw_density, color, _ = scene.fields(vertices_world)
+            density = raw_density / 30.0
             features = np.concatenate([density[:, None], color], axis=-1)
             corner_ids = np.stack(
                 [
@@ -188,6 +240,10 @@ class InstantNGPRenderer:
             np.add.at(counts, indices, 1.0)
             counts = np.maximum(counts, 1.0)
             self.grid.tables[level] = table / counts[:, None]
+        if store is not None:
+            store.put_asset(
+                key, {"tables": [table.tolist() for table in self.grid.tables]}
+            )
 
     # -- decoding ------------------------------------------------------------
 
@@ -202,21 +258,19 @@ class InstantNGPRenderer:
         low, high = (self.scene.bounds if self.scene else (-1.0, 1.0))
         return (points - low) / (high - low)
 
-    def render(
+    def prepare_render(
         self,
         camera: Camera,
         num_samples: int = 48,
-        precision: Precision | None = None,
-        outlier_aware: bool = False,
-        record_stats: bool = True,
         rng: np.random.Generator | None = None,
-    ) -> np.ndarray:
-        """Render the fitted scene, optionally with quantized tables.
+    ) -> "RenderPlan":
+        """Run the precision-independent half of :meth:`render` once.
 
-        ``precision=None`` renders in FP32.  With a precision, the hash-table
-        features are quantized (plainly, or outlier-aware when
-        ``outlier_aware=True``) before decoding, which is the quantization
-        point the Fig. 20(a) study sweeps.
+        Ray generation, depth sampling, occupancy (empty-space skipping)
+        and the FP32 hash-grid encode do not depend on the quantization
+        knobs, so a study that renders the same view under several
+        precisions (Fig. 20(a)) can prepare once and call
+        :meth:`render_prepared` per setting.
         """
         if self.scene is None:
             raise RuntimeError("call fit_to_scene() before render()")
@@ -239,7 +293,30 @@ class InstantNGPRenderer:
         features = np.zeros((flat_points.shape[0], self.config.output_dim))
         if np.any(occupied):
             features[occupied] = self.grid.encode(unit_points[occupied])
+        return RenderPlan(
+            camera=camera,
+            t_values=t_values,
+            num_rays=num_rays,
+            samples=samples,
+            occupied=occupied,
+            features=features,
+        )
 
+    def render_prepared(
+        self,
+        plan: "RenderPlan",
+        precision: Precision | None = None,
+        outlier_aware: bool = False,
+        record_stats: bool = True,
+    ) -> np.ndarray:
+        """Finish a prepared render under the given quantization setting.
+
+        The plan's FP32 feature matrix is never mutated (quantization
+        produces a fresh array), so one plan serves any number of
+        precision settings with bit-identical results to full renders.
+        """
+        occupied = plan.occupied
+        features = plan.features
         if precision is not None:
             features = self._quantize_features(features, precision, outlier_aware)
 
@@ -247,11 +324,14 @@ class InstantNGPRenderer:
         density = np.where(occupied, density, 0.0)
 
         if record_stats:
-            hidden1 = self.mlp.layers[0].forward(features[occupied]) if np.any(occupied) else np.zeros((0, 64))
-            hidden_out = self.mlp.forward(features[occupied]) if np.any(occupied) else np.zeros((0, 16))
+            any_occupied = bool(np.any(occupied))
+            hidden1 = self.mlp.layers[0].forward(features[occupied]) if any_occupied else np.zeros((0, 64))
+            # Resume the stack from layer 1: layer 0's activation is
+            # already in hand.
+            hidden_out = self.mlp.forward(hidden1, start=1) if any_occupied else np.zeros((0, 16))
             self.stats = RenderStats(
-                num_rays=num_rays,
-                num_samples=flat_points.shape[0],
+                num_rays=plan.num_rays,
+                num_samples=features.shape[0],
                 skipped_samples=int(np.sum(~occupied)),
                 stage_sparsity={
                     "input_ray_marching": sparsity_ratio(features),
@@ -261,11 +341,36 @@ class InstantNGPRenderer:
             )
 
         image = composite_rays(
-            color.reshape(num_rays, samples, 3),
-            density.reshape(num_rays, samples),
-            t_values,
+            color.reshape(plan.num_rays, plan.samples, 3),
+            density.reshape(plan.num_rays, plan.samples),
+            plan.t_values,
         )
-        return image.reshape(camera.height, camera.width, 3)
+        return image.reshape(plan.camera.height, plan.camera.width, 3)
+
+    def render(
+        self,
+        camera: Camera,
+        num_samples: int = 48,
+        precision: Precision | None = None,
+        outlier_aware: bool = False,
+        record_stats: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Render the fitted scene, optionally with quantized tables.
+
+        ``precision=None`` renders in FP32.  With a precision, the hash-table
+        features are quantized (plainly, or outlier-aware when
+        ``outlier_aware=True``) before decoding, which is the quantization
+        point the Fig. 20(a) study sweeps.  ``render`` is exactly
+        :meth:`prepare_render` followed by :meth:`render_prepared`.
+        """
+        plan = self.prepare_render(camera, num_samples=num_samples, rng=rng)
+        return self.render_prepared(
+            plan,
+            precision=precision,
+            outlier_aware=outlier_aware,
+            record_stats=record_stats,
+        )
 
     @staticmethod
     def _quantize_features(

@@ -18,6 +18,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.device import canonical_digest
+
+#: Upper bound on ``chunk_rows * num_primitives`` for the chunked distance
+#: kernel: caps the per-chunk (rows, P) GEMM output at ~16 MB of float64 so
+#: large query batches never materialize a full (N, P) distance matrix at
+#: once (and never the (N, P, 3) broadcast cube the reference path builds).
+_CHUNK_BUDGET = 1 << 21
+
 
 @dataclass
 class SyntheticScene:
@@ -32,6 +40,7 @@ class SyntheticScene:
     _centers: np.ndarray = field(init=False, repr=False)
     _radii: np.ndarray = field(init=False, repr=False)
     _colors: np.ndarray = field(init=False, repr=False)
+    _center_sq: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_occupancy < 1.0:
@@ -49,29 +58,133 @@ class SyntheticScene:
         radius = (3.0 * per_sphere / (4.0 * np.pi)) ** (1.0 / 3.0)
         self._radii = rng.uniform(0.8, 1.2, size=self.num_primitives) * radius
         self._colors = rng.uniform(0.2, 1.0, size=(self.num_primitives, 3))
+        # ‖c‖² per center, hoisted out of every distance scan.
+        self._center_sq = np.einsum("ij,ij->i", self._centers, self._centers)
 
     # -- field queries -------------------------------------------------------
+    #
+    # The batched kernels compute point-to-center distances via the squared
+    # distance identity  ‖p - c‖² = ‖p‖² + ‖c‖² - 2·p·cᵀ  as one chunked
+    # GEMM: a (rows, P) output block replaces the (N, P, 3) float64
+    # broadcast cube the reference implementations materialize.  Distances
+    # differ from the reference by float reassociation only (last-ulp,
+    # bounded well below 1e-9 over the scene volume; pinned by
+    # tests/nerf/test_scene_field_parity.py).
+
+    def _scan_fields(
+        self,
+        flat: np.ndarray,
+        want_density: bool = True,
+        want_nearest: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Chunked distance scan over flat (N, 3) points.
+
+        Returns ``(density, nearest)``; either is None when not requested.
+        Both come from the same per-chunk distance block, so asking for
+        both costs one GEMM, not two.
+        """
+        n = flat.shape[0]
+        density = np.empty(n) if want_density else None
+        nearest = np.empty(n, dtype=np.intp) if want_nearest else None
+        centers_t = self._centers.T
+        center_sq = self._center_sq
+        chunk = max(1, _CHUNK_BUDGET // self.num_primitives)
+        for lo in range(0, n, chunk):
+            block = flat[lo : lo + chunk]
+            sq = block @ centers_t  # (rows, P)
+            sq *= -2.0
+            sq += np.einsum("ij,ij->i", block, block)[:, None]
+            sq += center_sq
+            # Cancellation can leave tiny negative squared distances.
+            np.maximum(sq, 0.0, out=sq)
+            dists = np.sqrt(sq, out=sq)
+            if want_nearest:
+                nearest[lo : lo + chunk] = np.argmin(dists, axis=-1)
+            if want_density:
+                # Soft sphere: high density inside, decaying over a thin
+                # shell (same expression as reference_density).
+                inside = np.clip(
+                    (self._radii - dists) / (0.1 * self._radii), 0.0, 1.0
+                )
+                density[lo : lo + chunk] = 30.0 * np.max(inside, axis=-1)
+        return density, nearest
+
+    def fields(
+        self, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused single-pass ``(density, color, occupancy)`` at ``points``.
+
+        One chunked distance scan feeds all three fields, so callers that
+        need more than one (grid fitting, rendering) pay for one GEMM
+        instead of three full broadcast passes.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        lead = points.shape[:-1]
+        flat = np.ascontiguousarray(points.reshape(-1, 3))
+        density, nearest = self._scan_fields(flat)
+        density = density.reshape(lead)
+        colors = self._colors[nearest].reshape(lead + (3,))
+        return density, colors, density > 0.0
 
     def density(self, points: np.ndarray) -> np.ndarray:
         """Volume density at ``points`` of shape (..., 3)."""
         points = np.asarray(points, dtype=np.float64)
-        dists = np.linalg.norm(
-            points[..., None, :] - self._centers, axis=-1
-        )  # (..., P)
-        # Soft sphere: high density inside, decaying over a thin shell.
-        inside = np.clip((self._radii - dists) / (0.1 * self._radii), 0.0, 1.0)
-        return 30.0 * np.max(inside, axis=-1)
+        lead = points.shape[:-1]
+        flat = np.ascontiguousarray(points.reshape(-1, 3))
+        density, _ = self._scan_fields(flat, want_nearest=False)
+        return density.reshape(lead)
 
     def color(self, points: np.ndarray) -> np.ndarray:
         """Albedo color at ``points`` of shape (..., 3)."""
+        points = np.asarray(points, dtype=np.float64)
+        lead = points.shape[:-1]
+        flat = np.ascontiguousarray(points.reshape(-1, 3))
+        _, nearest = self._scan_fields(flat, want_density=False)
+        return self._colors[nearest].reshape(lead + (3,))
+
+    def occupancy(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of points that fall inside geometry."""
+        return self.density(points) > 0.0
+
+    # -- reference (seed) field implementations ------------------------------
+
+    def reference_density(self, points: np.ndarray) -> np.ndarray:
+        """Seed broadcast implementation of :meth:`density` (parity oracle)."""
+        points = np.asarray(points, dtype=np.float64)
+        dists = np.linalg.norm(
+            points[..., None, :] - self._centers, axis=-1
+        )  # (..., P)
+        inside = np.clip((self._radii - dists) / (0.1 * self._radii), 0.0, 1.0)
+        return 30.0 * np.max(inside, axis=-1)
+
+    def reference_color(self, points: np.ndarray) -> np.ndarray:
+        """Seed broadcast implementation of :meth:`color` (parity oracle)."""
         points = np.asarray(points, dtype=np.float64)
         dists = np.linalg.norm(points[..., None, :] - self._centers, axis=-1)
         nearest = np.argmin(dists, axis=-1)
         return self._colors[nearest]
 
-    def occupancy(self, points: np.ndarray) -> np.ndarray:
-        """Boolean mask of points that fall inside geometry."""
-        return self.density(points) > 0.0
+    def reference_occupancy(self, points: np.ndarray) -> np.ndarray:
+        """Seed implementation of :meth:`occupancy` (parity oracle)."""
+        return self.reference_density(points) > 0.0
+
+    def fingerprint(self) -> str:
+        """Content hash of everything the scene's fields depend on.
+
+        Keys the fitted-grid asset tier of the result store: two scenes
+        with equal fingerprints produce bit-identical field queries, so a
+        hash grid fitted to one serves the other.
+        """
+        return canonical_digest(
+            {
+                "name": self.name,
+                "complexity": self.complexity,
+                "target_occupancy": self.target_occupancy,
+                "num_primitives": self.num_primitives,
+                "seed": self.seed,
+                "bounds": self.bounds,
+            }
+        )
 
     def measured_occupancy(
         self, num_samples: int = 20000, rng: np.random.Generator | None = None

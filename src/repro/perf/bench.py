@@ -42,8 +42,10 @@ BENCH_SCHEMA_VERSION = 1
 BENCH_SCHEMA = "repro-bench"
 
 #: Experiment ids the quick (CI smoke) experiment section is limited to:
-#: one analytical, one hardware-cost and one frame-simulating study.
-QUICK_EXPERIMENT_IDS = ("fig04", "fig16", "fig01")
+#: one analytical, one hardware-cost, one frame-simulating study, and the
+#: two historical wall-time whales (fig13 / fig20a), whose budget CI
+#: enforces (see ``.github/workflows/ci.yml``).
+QUICK_EXPERIMENT_IDS = ("fig04", "fig16", "fig01", "fig13", "fig20a")
 
 
 def repo_revision() -> str:
@@ -254,6 +256,69 @@ def bench_hot_path(quick: bool) -> dict[str, Any]:
     return {
         "tiling": section(cached_tiling_s, uncached_tiling_s),
         "operand_bytes": section(cached_operand_s, uncached_operand_s),
+        "scene_density": _bench_scene_density(quick),
+        "fleet_dispatch": _bench_fleet_dispatch(quick),
+    }
+
+
+def _bench_scene_density(quick: bool) -> dict[str, float]:
+    """Batched scene-field kernel vs the seed broadcast implementation.
+
+    Times :meth:`~repro.nerf.scenes.SyntheticScene.density` (the chunked
+    squared-distance GEMM) against
+    :meth:`~repro.nerf.scenes.SyntheticScene.reference_density` (the
+    ``(N, P, 3)`` broadcast) on one query batch of the renderers' scale.
+    """
+    import numpy as np
+
+    from repro.nerf.scenes import get_scene
+
+    scene = get_scene("lego")
+    num_points = 8_000 if quick else 60_000
+    points = np.random.default_rng(0).uniform(-1.0, 1.0, size=(num_points, 3))
+    repeats = 2 if quick else 5
+    batched_s = _time_per_call(scene.density, [(points,)], repeats)
+    reference_s = _time_per_call(scene.reference_density, [(points,)], repeats)
+    return {
+        "num_points": num_points,
+        "batched_s_per_call": batched_s,
+        "reference_s_per_call": reference_s,
+        "speedup": reference_s / batched_s if batched_s > 0 else 0.0,
+    }
+
+
+def _bench_fleet_dispatch(quick: bool) -> dict[str, float]:
+    """FIFO fleet fast path vs the discrete-event loop on one short trace.
+
+    Both paths produce bit-identical reports (asserted here as well as in
+    the test suite); the measurement is pure dispatch overhead on warmed
+    frame-report caches.
+    """
+    from repro.experiments._serving import REFERENCE_MIX
+    from repro.serve.fleet import FleetSimulator
+    from repro.serve.request import PoissonStream
+    from repro.sim.sweep import SweepEngine
+
+    duration_s = 5.0 if quick else 20.0
+    stream = PoissonStream(
+        rate_rps=40.0, duration_s=duration_s, mix=REFERENCE_MIX, sla_s=0.25
+    )
+    requests = stream.generate(seed=0)
+    simulator = FleetSimulator(("flexnerfer", "neurex"), engine=SweepEngine())
+    fast_report = simulator.run(requests)  # warms the frame-report cache
+    repeats = 2 if quick else 5
+    fast_s = _time_per_call(simulator.run, [(requests,)], repeats)
+    event_loop_s = _time_per_call(
+        simulator._run_event_loop, [(requests,)], repeats
+    )
+    if simulator._run_event_loop(requests) != fast_report:  # pragma: no cover
+        raise RuntimeError("fleet fast path diverged from the event loop")
+    return {
+        "num_requests": len(requests),
+        "fast_s_per_run": fast_s,
+        "event_loop_s_per_run": event_loop_s,
+        "requests_per_wall_s": len(requests) / fast_s if fast_s > 0 else 0.0,
+        "speedup": event_loop_s / fast_s if fast_s > 0 else 0.0,
     }
 
 
@@ -377,6 +442,16 @@ def validate_bench(document: Any) -> list[str]:
         section = document["hot_path"].get(name)
         if not isinstance(section, dict) or "speedup" not in section:
             problems.append(f"hot_path.{name} lacks a speedup measurement")
+    # Newer emitters add further microbenchmarks (scene_density,
+    # fleet_dispatch).  They are optional -- committed trajectory points
+    # from older revisions must keep validating -- but when present they
+    # must carry a speedup, like every hot-path section.
+    for name in ("scene_density", "fleet_dispatch"):
+        section = document["hot_path"].get(name)
+        if section is not None and (
+            not isinstance(section, dict) or "speedup" not in section
+        ):
+            problems.append(f"hot_path.{name} lacks a speedup measurement")
     return problems
 
 
@@ -390,6 +465,11 @@ _COMPARE_METRICS: tuple[tuple[str, bool], ...] = (
     ("serving.time_compression", True),
     ("hot_path.tiling.speedup", True),
     ("hot_path.operand_bytes.speedup", True),
+    # Optional sections (newer emitters): compare_bench silently skips
+    # metrics absent from either document.
+    ("hot_path.scene_density.speedup", True),
+    ("hot_path.fleet_dispatch.speedup", True),
+    ("hot_path.fleet_dispatch.requests_per_wall_s", True),
 )
 
 
@@ -517,6 +597,151 @@ def render_compare(comparison: dict[str, Any]) -> str:
             "only in one document: "
             + ", ".join(comparison["unmatched_experiments"])
         )
+    return "\n".join(lines)
+
+
+# -- the trend scoreboard ------------------------------------------------------
+
+#: Columns of the trend scoreboard: (header, extractor id, higher-is-better).
+#: Extractor ids are dotted metric paths, or ``experiment:<id>`` for a row
+#: of the per-experiment wall-time list.
+_TREND_COLUMNS: tuple[tuple[str, str, bool], ...] = (
+    ("sweep cold s", "sweep.cold_s", False),
+    ("warm store s", "sweep.warm_store_s", False),
+    ("fig13 s", "experiment:fig13", False),
+    ("fig20a s", "experiment:fig20a", False),
+    ("serving req/s", "serving.requests_per_wall_s", True),
+)
+
+
+def _trend_value(document: dict[str, Any], extractor: str) -> float | None:
+    """Resolve one trend column in ``document`` (None when absent)."""
+    if extractor.startswith("experiment:"):
+        wanted = extractor.split(":", 1)[1]
+        for row in document.get("experiments", ()):
+            if isinstance(row, dict) and row.get("id") == wanted:
+                value = row.get("wall_time_s")
+                return float(value) if isinstance(value, (int, float)) else None
+        return None
+    return _lookup(document, extractor)
+
+
+def load_bench_documents(directory: Path) -> list[tuple[Path, dict[str, Any]]]:
+    """Every readable, valid ``BENCH_*.json`` under ``directory``.
+
+    Returned in measurement order (by ``created_utc``); unreadable or
+    schema-invalid files are skipped silently -- the trend is a scoreboard,
+    not a validator (``repro bench --validate`` is).
+    """
+    documents: list[tuple[Path, dict[str, Any]]] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not validate_bench(document):
+            documents.append((path, document))
+    documents.sort(key=lambda item: str(item[1].get("created_utc", "")))
+    return documents
+
+
+def trend_report(documents: list[dict[str, Any]]) -> dict[str, Any]:
+    """The trajectory scoreboard over ``documents`` (measurement order).
+
+    One point per document: revision, quick flag, every
+    :data:`_TREND_COLUMNS` metric, and direction-aware percentage deltas
+    against the *previous comparable* point (same ``quick`` flag --
+    deltas between a smoke point and a full point are meaningless and are
+    omitted).  A delta is a regression when it moves against the metric's
+    direction.
+    """
+    points: list[dict[str, Any]] = []
+    previous_by_quick: dict[bool, dict[str, Any]] = {}
+    for document in documents:
+        quick = bool(document.get("quick", False))
+        values = {
+            header: _trend_value(document, extractor)
+            for header, extractor, _ in _TREND_COLUMNS
+        }
+        deltas: dict[str, dict[str, Any]] = {}
+        previous = previous_by_quick.get(quick)
+        if previous is not None:
+            for header, _, higher_is_better in _TREND_COLUMNS:
+                baseline = previous["values"].get(header)
+                current = values.get(header)
+                if baseline is None or current is None:
+                    continue
+                delta = _delta_pct(baseline, current)
+                if delta is None:
+                    continue
+                deltas[header] = {
+                    "delta_pct": delta,
+                    "regression": (
+                        current < baseline
+                        if higher_is_better
+                        else current > baseline
+                    ),
+                }
+        point = {
+            "revision": document.get("revision", "unknown"),
+            "created_utc": document.get("created_utc", ""),
+            "quick": quick,
+            "values": values,
+            "deltas": deltas,
+        }
+        points.append(point)
+        previous_by_quick[quick] = point
+    return {
+        "columns": [
+            {"header": header, "higher_is_better": higher}
+            for header, _, higher in _TREND_COLUMNS
+        ],
+        "points": points,
+    }
+
+
+def _trend_cell(value: float | None) -> str:
+    """One value cell of the trend table."""
+    if value is None:
+        return "-"
+    if value >= 10_000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_trend(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`trend_report` scoreboard."""
+    points = report["points"]
+    headers = [column["header"] for column in report["columns"]]
+    if not points:
+        return "no valid BENCH_*.json documents found"
+    lines = [f"BENCH trend: {len(points)} point(s), oldest -> newest", ""]
+    lines.append(
+        f"{'revision':<16} {'quick':<6}"
+        + "".join(f" {header:>14}" for header in headers)
+    )
+    for point in points:
+        lines.append(
+            f"{point['revision']:<16} {'yes' if point['quick'] else 'no':<6}"
+            + "".join(
+                f" {_trend_cell(point['values'].get(header)):>14}"
+                for header in headers
+            )
+        )
+        if point["deltas"]:
+            cells = []
+            for header in headers:
+                delta = point["deltas"].get(header)
+                if delta is None:
+                    cells.append(f" {'':>14}")
+                    continue
+                text = f"{delta['delta_pct']:+.1f}%"
+                if delta["regression"]:
+                    text += " !"
+                cells.append(f" {text:>14}")
+            lines.append(f"{'  vs previous':<16} {'':<6}" + "".join(cells))
+    if any(point["deltas"].get(h, {}).get("regression") for point in points for h in headers):
+        lines += ["", "! marks a direction-aware regression vs the previous comparable point"]
     return "\n".join(lines)
 
 

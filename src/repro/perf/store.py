@@ -210,6 +210,37 @@ class ExperimentResultKey:
         )
 
 
+@dataclass(frozen=True)
+class GridAssetKey:
+    """Content address of one fitted hash-grid table set (the asset tier).
+
+    Fitting a hash grid to a procedural scene is deterministic: the tables
+    are a pure function of the scene's field parameters
+    (:meth:`repro.nerf.scenes.SyntheticScene.fingerprint`) and the grid
+    configuration, so they can be reused across runs, experiments and
+    renderers.  Fitting-algorithm changes fingerprints cannot see are
+    covered by the shared :data:`STORE_SCHEMA_VERSION` bump rule, exactly
+    as for the frame and result tiers.
+    """
+
+    scene_fingerprint: str
+    grid_fingerprint: str
+    schema_version: int = STORE_SCHEMA_VERSION
+
+    kind = "asset"
+
+    @property
+    def digest(self) -> str:
+        """The key's SHA-1 content address (the stored file's basename)."""
+        return canonical_digest(
+            (
+                self.scene_fingerprint,
+                self.grid_fingerprint,
+                self.schema_version,
+            )
+        )
+
+
 #: Memoised registry digests, keyed on the registry's identity so runtime
 #: ``register_device`` calls are observed (device / workload construction is
 #: cheap but not free, and every cached experiment lookup needs the digest).
@@ -399,7 +430,7 @@ class ResultStore:
         version = self.schema_version if schema_version is None else schema_version
         return self.root / f"v{version}"
 
-    def path_for(self, key: "StoreKey | ExperimentResultKey") -> Path:
+    def path_for(self, key: "StoreKey | ExperimentResultKey | GridAssetKey") -> Path:
         """On-disk location of ``key``'s entry."""
         digest = key.digest
         return (
@@ -421,7 +452,7 @@ class ResultStore:
     # -- read / write ----------------------------------------------------------
 
     def _read_document(
-        self, key: "StoreKey | ExperimentResultKey"
+        self, key: "StoreKey | ExperimentResultKey | GridAssetKey"
     ) -> dict[str, Any] | None:
         """The raw JSON document stored under ``key``, or None on any problem."""
         path = self.path_for(key)
@@ -443,7 +474,7 @@ class ResultStore:
 
     def _write_document(
         self,
-        key: "StoreKey | ExperimentResultKey",
+        key: "StoreKey | ExperimentResultKey | GridAssetKey",
         document: dict[str, Any],
     ) -> Path:
         """Atomically persist one entry; readers never see partial files.
@@ -500,6 +531,35 @@ class ResultStore:
                     "pruning_ratio": key.pruning_ratio,
                 },
                 "report": report_to_dict(report),
+            },
+        )
+
+    def get_asset(self, key: GridAssetKey) -> dict[str, Any] | None:
+        """The cached asset payload for ``key``, or None.
+
+        The payload is whatever :meth:`put_asset` stored -- for fitted hash
+        grids, a ``{"tables": [...]}`` mapping whose nested float lists
+        round-trip IEEE-754 doubles exactly (JSON emits floats via
+        ``repr``), so a reloaded grid renders bit-identically.
+        """
+        data = self._read_document(key)
+        if data is None:
+            return None
+        payload = data.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put_asset(self, key: GridAssetKey, payload: dict[str, Any]) -> Path:
+        """Persist one asset payload under ``key`` atomically."""
+        return self._write_document(
+            key,
+            {
+                "schema_version": key.schema_version,
+                "created_s": time.time(),
+                "key": {
+                    "scene_fingerprint": key.scene_fingerprint,
+                    "grid_fingerprint": key.grid_fingerprint,
+                },
+                "payload": payload,
             },
         )
 

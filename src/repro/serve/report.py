@@ -12,12 +12,26 @@ exactly in tests.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.request import Request
     from repro.serve.scheduler import Worker
+
+
+def _interpolate(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of already-sorted ``ordered``."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -30,14 +44,7 @@ def percentile(values: Sequence[float], q: float) -> float:
         raise ValueError("percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    position = (q / 100.0) * (len(ordered) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
-    fraction = position - lower
-    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+    return _interpolate(sorted(values), q)
 
 
 @dataclass(frozen=True)
@@ -121,20 +128,72 @@ class ServingReport:
     ) -> "ServingReport":
         """Aggregate a completed-request log into the uniform report shape."""
         completed = tuple(sorted(completed, key=lambda c: c.request.request_id))
+        return cls.from_arrays(
+            scheduler=scheduler,
+            fleet=fleet,
+            workers=workers,
+            completed=completed,
+            num_requests=num_requests,
+            arrivals=np.array(
+                [c.request.arrival_s for c in completed], dtype=np.float64
+            ),
+            starts=np.array([c.start_s for c in completed], dtype=np.float64),
+            finishes=np.array([c.finish_s for c in completed], dtype=np.float64),
+            deadlines=[c.request.deadline_s for c in completed],
+            batch_sizes=[c.batch_size for c in completed],
+            energies=np.array([c.energy_j for c in completed], dtype=np.float64),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        scheduler: str,
+        fleet: Sequence[str],
+        workers: Sequence["Worker"],
+        completed: tuple[CompletedRequest, ...],
+        num_requests: int,
+        arrivals: np.ndarray,
+        starts: np.ndarray,
+        finishes: np.ndarray,
+        deadlines: Sequence[float | None],
+        batch_sizes: Sequence[int],
+        energies: np.ndarray,
+    ) -> "ServingReport":
+        """Aggregate pre-extracted per-request columns into a report.
+
+        Inputs must already be sorted by request id (``completed`` and the
+        columns in the same order).  Every statistic is computed with the
+        same IEEE-754 operations in the same order as the historical
+        per-object aggregation, so reports are bit-identical whichever
+        entry point built them; the column form just skips per-completion
+        attribute and property calls on the fleet fast path's hot loop.
+        """
+        n = len(completed)
         # All rates share one time origin -- the first arrival -- so replayed
         # traces with a nonzero origin report honest numbers: the makespan is
         # first arrival -> last completion, and offered load is measured over
         # the arrival span alone (under overload the queue drains long after
         # the last arrival; dividing arrivals by the drain-extended makespan
         # would just re-measure completion throughput).
-        arrivals = [c.request.arrival_s for c in completed]
-        first_arrival = min(arrivals) if arrivals else 0.0
-        last_finish = max((c.finish_s for c in completed), default=0.0)
-        makespan = last_finish - first_arrival if completed else 0.0
-        arrival_span = max(arrivals) - first_arrival if arrivals else 0.0
-        latencies = [c.latency_s for c in completed]
-        waits = [c.wait_s for c in completed]
-        met = sum(1 for c in completed if c.met_deadline)
+        first_arrival = float(arrivals.min()) if n else 0.0
+        last_finish = float(finishes.max()) if n else 0.0
+        makespan = last_finish - first_arrival if n else 0.0
+        arrival_span = float(arrivals.max()) - first_arrival if n else 0.0
+        # Elementwise float64 subtraction matches the per-completion
+        # ``finish_s - arrival_s`` property exactly; sums run left-to-right
+        # over the request-id order, as the per-object loop always did.
+        latency_column = finishes - arrivals
+        latencies = latency_column.tolist()
+        waits = (starts - arrivals).tolist()
+        ordered_latencies = np.sort(latency_column).tolist()
+        if n:
+            deadline_bounds = np.array(
+                [math.inf if d is None else d for d in deadlines],
+                dtype=np.float64,
+            )
+            met = int(np.count_nonzero(finishes <= deadline_bounds))
+        else:
+            met = 0
         worker_stats = tuple(
             WorkerStats(
                 worker=w.label,
@@ -147,7 +206,6 @@ class ServingReport:
             )
             for w in workers
         )
-        n = len(completed)
         return cls(
             scheduler=scheduler,
             fleet=tuple(fleet),
@@ -157,17 +215,13 @@ class ServingReport:
             offered_rps=num_requests / arrival_span if arrival_span > 0 else 0.0,
             goodput_rps=met / makespan if makespan > 0 else 0.0,
             sla_attainment=met / n if n else 1.0,
-            p50_latency_s=percentile(latencies, 50.0) if latencies else 0.0,
-            p95_latency_s=percentile(latencies, 95.0) if latencies else 0.0,
-            p99_latency_s=percentile(latencies, 99.0) if latencies else 0.0,
+            p50_latency_s=_interpolate(ordered_latencies, 50.0) if n else 0.0,
+            p95_latency_s=_interpolate(ordered_latencies, 95.0) if n else 0.0,
+            p99_latency_s=_interpolate(ordered_latencies, 99.0) if n else 0.0,
             mean_latency_s=sum(latencies) / n if n else 0.0,
             mean_wait_s=sum(waits) / n if n else 0.0,
-            mean_batch_size=(
-                sum(c.batch_size for c in completed) / n if n else 0.0
-            ),
-            energy_per_request_j=(
-                sum(c.energy_j for c in completed) / n if n else 0.0
-            ),
+            mean_batch_size=sum(batch_sizes) / n if n else 0.0,
+            energy_per_request_j=sum(energies.tolist()) / n if n else 0.0,
             workers=worker_stats,
             completed=completed,
         )

@@ -1,0 +1,116 @@
+"""The chunked-GEMM scene kernels agree with the reference broadcast path.
+
+``SyntheticScene.density`` / ``color`` / ``occupancy`` and the fused
+``fields`` scan compute squared distances via the expanded GEMM identity
+``d^2 = |p|^2 + |c|^2 - 2 p.c`` instead of materialising the (N, P, 3)
+difference cube.  The reassociated arithmetic may differ from the
+reference ``np.linalg.norm`` path in the last few ulps of the *distance*,
+so densities are compared within 1e-9; the derived nearest-primitive
+colors and the occupancy mask must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nerf.scenes import SCENE_LIBRARY, get_scene
+
+RNG = np.random.default_rng(20260808)
+
+
+def sample_points(num: int) -> np.ndarray:
+    return RNG.uniform(-1.6, 1.6, size=(num, 3))
+
+
+@pytest.mark.parametrize("name", sorted(SCENE_LIBRARY))
+class TestAllScenes:
+    def test_density_matches_reference(self, name):
+        scene = get_scene(name)
+        points = sample_points(4096)
+        np.testing.assert_allclose(
+            scene.density(points),
+            scene.reference_density(points),
+            rtol=0.0,
+            atol=1e-9,
+        )
+
+    def test_color_and_occupancy_match_exactly(self, name):
+        scene = get_scene(name)
+        points = sample_points(2048)
+        np.testing.assert_array_equal(
+            scene.color(points), scene.reference_color(points)
+        )
+        np.testing.assert_array_equal(
+            scene.occupancy(points), scene.reference_occupancy(points)
+        )
+
+    def test_fused_fields_matches_single_field_calls(self, name):
+        scene = get_scene(name)
+        points = sample_points(2048)
+        density, color, occupancy = scene.fields(points)
+        np.testing.assert_array_equal(density, scene.density(points))
+        np.testing.assert_array_equal(color, scene.color(points))
+        np.testing.assert_array_equal(occupancy, scene.occupancy(points))
+
+
+class TestShapesAndLayouts:
+    def test_empty_batch(self):
+        scene = get_scene("lego")
+        points = np.empty((0, 3))
+        density, color, occupancy = scene.fields(points)
+        assert density.shape == (0,)
+        assert color.shape == (0, 3)
+        assert occupancy.shape == (0,)
+        assert scene.density(points).shape == (0,)
+
+    def test_single_point(self):
+        scene = get_scene("mic")
+        point = np.array([0.05, -0.2, 0.4])
+        density, color, occupancy = scene.fields(point)
+        assert density.shape == ()
+        assert color.shape == (3,)
+        assert occupancy.shape == ()
+        assert density == scene.reference_density(point)
+
+    def test_multi_dim_lead_shape(self):
+        scene = get_scene("chair")
+        points = sample_points(24).reshape(2, 3, 4, 3)
+        density, color, occupancy = scene.fields(points)
+        assert density.shape == (2, 3, 4)
+        assert color.shape == (2, 3, 4, 3)
+        assert occupancy.shape == (2, 3, 4)
+        np.testing.assert_allclose(
+            density, scene.reference_density(points), rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_array_equal(color, scene.reference_color(points))
+
+    def test_non_contiguous_input(self):
+        scene = get_scene("drums")
+        wide = sample_points(512 * 2).reshape(512, 6)
+        points = wide[:, ::2]  # stride-2 view: not C-contiguous
+        assert not points.flags["C_CONTIGUOUS"]
+        np.testing.assert_allclose(
+            scene.density(points),
+            scene.reference_density(np.ascontiguousarray(points)),
+            rtol=0.0,
+            atol=1e-9,
+        )
+
+    def test_chunked_scan_crosses_chunk_boundaries(self, monkeypatch):
+        # Force a tiny chunk so one call spans many GEMM blocks.
+        import repro.nerf.scenes as scenes_mod
+
+        scene = get_scene("palace")
+        points = sample_points(1000)
+        expected = scene.density(points)
+        monkeypatch.setattr(scenes_mod, "_CHUNK_BUDGET", 1)
+        # Different BLAS block shapes may flip the last few ulps.
+        np.testing.assert_allclose(
+            scene.density(points), expected, rtol=0.0, atol=1e-9
+        )
+
+
+class TestFingerprint:
+    def test_stable_and_distinct(self):
+        lego = get_scene("lego")
+        assert lego.fingerprint() == get_scene("lego").fingerprint()
+        assert lego.fingerprint() != get_scene("mic").fingerprint()

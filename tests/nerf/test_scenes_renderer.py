@@ -126,3 +126,58 @@ class TestInstantNGPRenderer:
         int8 = renderer.render(SMALL_CAMERA, num_samples=16, precision=Precision.INT8, record_stats=False)
         int4 = renderer.render(SMALL_CAMERA, num_samples=16, precision=Precision.INT4, record_stats=False)
         assert psnr(fp32, int8) >= psnr(fp32, int4)
+
+    def test_prepared_render_matches_direct_render(self):
+        renderer = self._fitted()
+        direct = renderer.render(SMALL_CAMERA, num_samples=16, record_stats=False)
+        plan = renderer.prepare_render(SMALL_CAMERA, num_samples=16)
+        np.testing.assert_array_equal(
+            renderer.render_prepared(plan, record_stats=False), direct
+        )
+        # A plan is reusable: per-precision renders off one plan equal the
+        # per-precision direct renders.
+        direct_int8 = renderer.render(
+            SMALL_CAMERA, num_samples=16, precision=Precision.INT8, record_stats=False
+        )
+        np.testing.assert_array_equal(
+            renderer.render_prepared(
+                plan, precision=Precision.INT8, record_stats=False
+            ),
+            direct_int8,
+        )
+
+    def test_plan_features_not_mutated_by_quantized_render(self):
+        renderer = self._fitted()
+        plan = renderer.prepare_render(SMALL_CAMERA, num_samples=16)
+        before = plan.features.copy()
+        renderer.render_prepared(plan, precision=Precision.INT4, record_stats=False)
+        np.testing.assert_array_equal(plan.features, before)
+
+    def test_stats_pass_runs_single_mlp_forward(self, monkeypatch):
+        # The stage-sparsity probe reuses the first layer's activations for
+        # the rest of the forward pass instead of re-running the whole MLP.
+        renderer = self._fitted()
+        first_layer = renderer.mlp.layers[0]
+        calls = {"n": 0}
+        original = type(first_layer).forward
+
+        def counting(self, x):
+            if self is first_layer:
+                calls["n"] += 1
+            return original(self, x)
+
+        monkeypatch.setattr(type(first_layer), "forward", counting)
+        renderer.render(SMALL_CAMERA, num_samples=16, record_stats=True)
+        assert calls["n"] == 1
+
+
+class TestMLPForwardStart:
+    def test_start_resumes_mid_network(self):
+        from repro.nerf.mlp import MLP
+
+        rng = np.random.default_rng(0)
+        mlp = MLP.build([8, 16, 16, 4], rng=np.random.default_rng(3))
+        x = rng.normal(size=(10, 8))
+        full = mlp.forward(x)
+        hidden1 = mlp.layers[0].forward(x)
+        np.testing.assert_array_equal(mlp.forward(hidden1, start=1), full)

@@ -16,9 +16,12 @@ from repro.perf.bench import (
     bench_filename,
     bench_hot_path,
     compare_bench,
+    load_bench_documents,
     render_compare,
+    render_trend,
     repo_revision,
     run_bench,
+    trend_report,
     validate_bench,
     write_bench,
 )
@@ -80,6 +83,18 @@ class TestRunBench:
             assert section[name]["uncached_s_per_call"] > 0
             assert section[name]["speedup"] > 0
 
+    def test_hot_path_measures_scene_and_fleet_kernels(self, quick_document):
+        hot = quick_document["hot_path"]
+        scene = hot["scene_density"]
+        assert scene["num_points"] > 0
+        assert scene["batched_s_per_call"] > 0
+        assert scene["reference_s_per_call"] > 0
+        assert scene["speedup"] > 0
+        fleet = hot["fleet_dispatch"]
+        assert fleet["num_requests"] > 0
+        assert fleet["requests_per_wall_s"] > 0
+        assert fleet["speedup"] > 0
+
 
 def cli_quick_ids():
     from repro.perf.bench import QUICK_EXPERIMENT_IDS
@@ -120,6 +135,19 @@ class TestValidateBench:
         problems = validate_bench(broken)
         assert any("tiling" in p for p in problems)
         assert any("operand_bytes" in p for p in problems)
+
+    def test_scene_and_fleet_sections_are_optional(self, quick_document):
+        # Pre-existing committed BENCH points lack the newer microbenchmarks
+        # and must keep validating.
+        old_style = json.loads(json.dumps(quick_document))
+        old_style["hot_path"].pop("scene_density")
+        old_style["hot_path"].pop("fleet_dispatch")
+        assert validate_bench(old_style) == []
+
+    def test_malformed_optional_section_rejected(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        broken["hot_path"]["scene_density"] = {"num_points": 3}
+        assert any("scene_density" in p for p in validate_bench(broken))
 
 
 class TestWriteBench:
@@ -261,3 +289,92 @@ class TestCompareBench:
         b.write_text(json.dumps(variant_of(quick_document, quick=False)))
         assert cli.main(["bench", "--compare", str(a), str(b)]) == 2
         assert "quick" in capsys.readouterr().err
+
+
+class TestTrend:
+    def make_point(self, quick_document, revision, created, **edits):
+        point = variant_of(quick_document, revision=revision, **edits)
+        point["created_utc"] = created
+        return point
+
+    def test_load_orders_by_created_and_skips_invalid(
+        self, quick_document, tmp_path
+    ):
+        newer = self.make_point(quick_document, "bbb", "2026-08-08T10:00:00Z")
+        older = self.make_point(quick_document, "aaa", "2026-08-01T10:00:00Z")
+        (tmp_path / "BENCH_bbb.json").write_text(json.dumps(newer))
+        (tmp_path / "BENCH_aaa.json").write_text(json.dumps(older))
+        (tmp_path / "BENCH_junk.json").write_text("{ nope")
+        drifted = variant_of(quick_document, schema_version=BENCH_SCHEMA_VERSION + 1)
+        (tmp_path / "BENCH_drift.json").write_text(json.dumps(drifted))
+        documents = load_bench_documents(tmp_path)
+        assert [doc["revision"] for _, doc in documents] == ["aaa", "bbb"]
+
+    def test_deltas_are_direction_aware(self, quick_document):
+        first = self.make_point(quick_document, "aaa", "2026-08-01T10:00:00Z")
+        second = self.make_point(
+            quick_document,
+            "bbb",
+            "2026-08-08T10:00:00Z",
+            sweep__cold_s=quick_document["sweep"]["cold_s"] * 2,
+            serving__requests_per_wall_s=(
+                quick_document["serving"]["requests_per_wall_s"] * 2
+            ),
+        )
+        report = trend_report([first, second])
+        assert len(report["points"]) == 2
+        assert report["points"][0]["deltas"] == {}
+        deltas = report["points"][1]["deltas"]
+        # Cold sweep doubled: lower-is-better, so that's a regression.
+        assert deltas["sweep cold s"]["regression"] is True
+        assert deltas["sweep cold s"]["delta_pct"] == pytest.approx(100.0)
+        # Serving throughput doubled: higher-is-better, an improvement.
+        assert deltas["serving req/s"]["regression"] is False
+
+    def test_quick_and_full_points_never_compared(self, quick_document):
+        quick_point = self.make_point(quick_document, "aaa", "2026-08-01T10:00:00Z")
+        full_point = self.make_point(
+            quick_document, "bbb", "2026-08-08T10:00:00Z", quick=False
+        )
+        report = trend_report([quick_point, full_point])
+        assert report["points"][1]["deltas"] == {}
+
+    def test_missing_experiment_renders_as_dash(self, quick_document):
+        point = self.make_point(
+            quick_document, "aaa", "2026-08-01T10:00:00Z", experiments=[]
+        )
+        report = trend_report([point])
+        assert report["points"][0]["values"]["fig13 s"] is None
+        text = render_trend(report)
+        assert "aaa" in text and " - " in text
+
+    def test_render_marks_regressions(self, quick_document):
+        first = self.make_point(quick_document, "aaa", "2026-08-01T10:00:00Z")
+        second = self.make_point(
+            quick_document,
+            "bbb",
+            "2026-08-08T10:00:00Z",
+            sweep__cold_s=quick_document["sweep"]["cold_s"] * 2,
+        )
+        text = render_trend(trend_report([first, second]))
+        assert "vs previous" in text
+        assert "!" in text
+
+    def test_render_empty(self):
+        assert "no valid BENCH" in render_trend(trend_report([]))
+
+    def test_cli_trend(self, quick_document, tmp_path, capsys):
+        point = self.make_point(quick_document, "abc1234", "2026-08-01T10:00:00Z")
+        (tmp_path / "BENCH_abc1234.json").write_text(json.dumps(point))
+        assert cli.main(["bench", "--trend", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH trend" in out and "abc1234" in out
+
+    def test_cli_trend_empty_dir_exits_1(self, tmp_path, capsys):
+        assert cli.main(["bench", "--trend", "--dir", str(tmp_path)]) == 1
+        assert "no valid BENCH" in capsys.readouterr().out
+
+    def test_cli_trend_missing_dir_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert cli.main(["bench", "--trend", "--dir", str(missing)]) == 2
+        assert "no such trend directory" in capsys.readouterr().err
