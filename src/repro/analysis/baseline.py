@@ -1,0 +1,142 @@
+"""The committed lint baseline: grandfathered findings with justifications.
+
+A baseline entry matches a finding by *content* -- (rule, path, message) --
+never by line number, so unrelated edits that move code do not resurrect
+grandfathered findings.  Every entry carries a one-line ``justification``
+explaining why it is a tolerated false positive rather than a defect;
+``repro lint --update-baseline`` regenerates the file, preserving the
+justifications of entries that survive.
+
+The file is plain sorted JSON so diffs stay reviewable; see
+``docs/linting.md`` for the policy on when baselining is acceptable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.base import Finding
+
+#: The ``schema`` marker every baseline file carries.
+BASELINE_SCHEMA = "repro-lint-baseline"
+
+#: Version of the baseline layout; bump on structural change.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Justification placeholder ``--update-baseline`` writes for new entries.
+TODO_JUSTIFICATION = "TODO: justify why this finding is a false positive"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: its content key plus the justification."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = TODO_JUSTIFICATION
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The content identity matched against :attr:`Finding.key`."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-safe form, one entry of the baseline file."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A loaded baseline file: entries plus the path they came from."""
+
+    path: Path | None
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered by some entry."""
+        return finding.key in {entry.key for entry in self.entries}
+
+    def stale_entries(self, findings: Iterable[Finding]) -> tuple[BaselineEntry, ...]:
+        """Entries matching no current finding (candidates for removal)."""
+        live = {finding.key for finding in findings}
+        return tuple(entry for entry in self.entries if entry.key not in live)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Malformed files raise ValueError with a one-line description -- a
+    silently ignored baseline would un-grandfather every entry and fail
+    the build confusingly.
+    """
+    if not path.exists():
+        return Baseline(path=path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(document, dict) or document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path} is not a '{BASELINE_SCHEMA}' document")
+    if document.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has baseline schema version "
+            f"{document.get('schema_version')}, expected {BASELINE_SCHEMA_VERSION}"
+        )
+    entries = []
+    for index, raw in enumerate(document.get("entries", [])):
+        if not isinstance(raw, dict) or not all(
+            isinstance(raw.get(k), str) for k in ("rule", "path", "message")
+        ):
+            raise ValueError(f"{path}: entry {index} lacks rule/path/message")
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                message=raw["message"],
+                justification=str(
+                    raw.get("justification", TODO_JUSTIFICATION)
+                ),
+            )
+        )
+    return Baseline(path=path, entries=tuple(entries))
+
+
+def update_baseline(
+    path: Path, findings: Sequence[Finding], previous: Baseline
+) -> Baseline:
+    """Write ``path`` grandfathering exactly ``findings``; returns the result.
+
+    Justifications of entries that survive the update are preserved; new
+    entries get :data:`TODO_JUSTIFICATION` so review can spot them.  The
+    entry list is deduplicated and sorted for stable diffs.
+    """
+    kept = {entry.key: entry.justification for entry in previous.entries}
+    entries = sorted(
+        {
+            BaselineEntry(
+                rule=finding.rule_id,
+                path=finding.path,
+                message=finding.message,
+                justification=kept.get(finding.key, TODO_JUSTIFICATION),
+            )
+            for finding in findings
+        },
+        key=lambda entry: entry.key,
+    )
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return Baseline(path=path, entries=tuple(entries))

@@ -1,0 +1,94 @@
+"""DET003: ordering-sensitive iteration over unordered sets."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.base import Finding, ModuleRule, SourceModule
+
+#: Builtin constructors producing unordered collections.
+_UNORDERED_CALLS = frozenset({"set", "frozenset"})
+
+#: Callees whose argument order lands in an ordered output (so feeding them
+#: a set makes that output hash-order dependent).
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_unordered(module: SourceModule, node: ast.expr) -> bool:
+    """Whether ``node`` statically evaluates to an unordered collection."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return module.call_name(node) in _UNORDERED_CALLS
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra: unordered if either side visibly is.
+        return _is_unordered(module, node.left) or _is_unordered(module, node.right)
+    return False
+
+
+class UnorderedIterationRule(ModuleRule):
+    """Flag iteration over sets where element order reaches an output.
+
+    Set iteration order depends on insertion history and value hashing
+    (``PYTHONHASHSEED`` for strings), so a ``for`` loop, comprehension,
+    ``str.join`` or ``list()`` over a set produces run-dependent order.  In
+    the modules that feed store-key digests and rendered tables that means
+    different cache keys -- or different bytes -- for identical content.
+    Wrap the set in ``sorted(...)`` instead; order-insensitive reductions
+    (``len`` / ``sum`` / ``min`` / ``max`` / ``any`` / ``all`` /
+    membership) are fine and not flagged.
+    """
+
+    id = "DET003"
+    title = "unordered set iteration feeding digests or rendered output"
+    rationale = (
+        "Set iteration order is a function of value hashing and insertion "
+        "history, not content; in digest- and table-producing code it "
+        "makes byte-identical inputs hash or render differently across "
+        "runs.  Iterate sorted(the_set) instead."
+    )
+    #: The digest- and rendering-producing modules the rule guards.
+    scope: ClassVar[tuple[str, ...]] = (
+        "repro.perf",
+        "repro.core.device",
+        "repro.experiments.api",
+        "repro.experiments.cli",
+        "repro.experiments.catalog",
+        "repro.serve.report",
+    )
+
+    def _flagged_expressions(
+        self, module: SourceModule
+    ) -> Iterator[tuple[ast.expr, str]]:
+        """Yield (unordered expression, consuming context) pairs."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_unordered(module, node.iter):
+                    yield node.iter, "a for loop"
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if _is_unordered(module, comp.iter):
+                        yield comp.iter, "a comprehension"
+            elif isinstance(node, ast.Call):
+                name = module.call_name(node)
+                is_join = isinstance(node.func, ast.Attribute) and (
+                    node.func.attr == "join"
+                )
+                if name in _ORDER_SENSITIVE_CALLS or is_join:
+                    context = "str.join" if is_join else f"{name}()"
+                    for arg in node.args:
+                        if _is_unordered(module, arg):
+                            yield arg, context
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag every order-sensitive consumption of a set in ``module``."""
+        for expr, context in self._flagged_expressions(module):
+            yield self.finding(
+                module,
+                expr,
+                f"set iterated by {context}: element order is "
+                f"hash/insertion dependent; wrap it in sorted(...)",
+            )

@@ -11,6 +11,8 @@ Usage::
                    [--format table|json|csv] [--out DIR] [--check DIR]
                    [--no-run] [per-experiment param flags]
     repro docs [--out PATH] [--check]
+    repro lint [--format table|json] [--rules ID[,ID]] [--root PATH]
+               [--baseline PATH] [--update-baseline]
     repro bench [--quick] [--out PATH] [--validate PATH]
                 [--compare A.json B.json] [--trend [--dir PATH]]
     repro cache <stats|clear|evict> [--dir PATH] [--format table|json]
@@ -27,6 +29,8 @@ Examples::
         --pack packs/shard-2.json    # one machine's quarter of the evaluation
     repro assemble packs/*.json --out assembled/ --check artifacts/
     repro docs --check
+    repro lint                        # determinism / cache-safety pass, exits 1 on findings
+    repro lint --rules DET001,CONC001 --format json
     repro bench --quick --out bench/  # emit a BENCH_<rev>.json smoke point
     repro bench --compare BENCH_a.json BENCH_b.json
     repro cache stats --format json
@@ -166,6 +170,17 @@ COMMANDS: tuple[CommandSpec, ...] = (
         ),
     ),
     CommandSpec(
+        "lint",
+        "run the determinism / cache-safety static-analysis pass",
+        options=(
+            CommandOption("--format", "table|json", "diagnostic rendering (default: table)"),
+            CommandOption("--rules", "ID[,ID]", "run only the given rule ids (default: all)"),
+            CommandOption("--root", "PATH", "tree to lint (default: the installed repro package sources)"),
+            CommandOption("--baseline", "PATH", "baseline file (default: lint-baseline.json at the checkout root)"),
+            CommandOption("--update-baseline", "", "rewrite the baseline to grandfather every current finding"),
+        ),
+    ),
+    CommandSpec(
         "bench",
         "measure a BENCH_<rev>.json performance trajectory point",
         options=(
@@ -226,6 +241,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_assemble(rest)
         if command == "docs":
             return _cmd_docs(rest)
+        if command == "lint":
+            return _cmd_lint(rest)
         if command == "bench":
             return _cmd_bench(rest)
         if command == "cache":
@@ -337,6 +354,69 @@ def _cmd_docs(args: list[str]) -> int:
     path.write_text(generated)
     print(f"wrote {path}")
     return 0
+
+
+# -- repro lint ---------------------------------------------------------------
+
+
+def _cmd_lint(args: list[str]) -> int:
+    """Run the determinism / cache-safety static-analysis pass.
+
+    Exits 0 on a clean pass, 1 when non-baselined findings remain, 2 on
+    usage errors -- the same contract the CI lint gate relies on.
+    """
+    from repro.analysis import (
+        default_baseline_path,
+        default_lint_root,
+        load_baseline,
+        render_json,
+        render_table,
+        run_lint,
+        update_baseline,
+    )
+
+    update = "--update-baseline" in args
+    args = [a for a in args if a != "--update-baseline"]
+    options = _parse_options(
+        args, flags=("--format", "--rules", "--root", "--baseline")
+    )
+    fmt = options.get("--format", "table")
+    if fmt not in LIST_FORMATS:
+        raise CLIError(
+            f"invalid lint format '{fmt}'; valid: {', '.join(LIST_FORMATS)}"
+        )
+    rule_ids = None
+    if "--rules" in options:
+        rule_ids = [r for r in options["--rules"].split(",") if r]
+        if not rule_ids:
+            raise CLIError("--rules needs at least one rule id")
+        if update:
+            # A partial run would rewrite the baseline without the other
+            # rules' findings, silently un-grandfathering them.
+            raise CLIError("--update-baseline requires the full rule set; drop --rules")
+    root = Path(options["--root"]) if "--root" in options else default_lint_root()
+    if not root.is_dir():
+        raise CLIError(f"no such lint root: {root}")
+    baseline_path = (
+        Path(options["--baseline"])
+        if "--baseline" in options
+        else default_baseline_path()
+    )
+    try:
+        baseline = load_baseline(baseline_path)
+        report = run_lint(root, rule_ids=rule_ids, baseline=baseline)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    if update:
+        # Grandfather every current non-suppressed finding: new ones get a
+        # TODO justification, already-baselined ones keep theirs.
+        update_baseline(
+            baseline_path, report.findings + report.baselined, baseline
+        )
+        report = run_lint(root, rule_ids=rule_ids, baseline=load_baseline(baseline_path))
+        print(f"wrote {baseline_path} ({len(report.baselined)} entries matched)")
+    print(render_json(report) if fmt == "json" else render_table(report))
+    return 0 if report.clean else 1
 
 
 # -- repro bench --------------------------------------------------------------

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -246,17 +247,26 @@ class GridAssetKey:
 #: cheap but not free, and every cached experiment lookup needs the digest).
 _REGISTRY_DIGESTS: dict[tuple, str] = {}
 
+#: Guards :data:`_REGISTRY_DIGESTS`: ``repro run --jobs`` computes result
+#: keys on a thread pool, and an unguarded memo write is exactly the race
+#: CONC001 (``repro lint``) exists to catch.
+_REGISTRY_DIGESTS_LOCK = threading.Lock()
+
 
 def device_registry_digest() -> str:
     """One digest over the fingerprints of every registered device."""
     from repro.core.device import DEVICE_REGISTRY, get_device
 
     identity = tuple(sorted((name, id(f)) for name, f in DEVICE_REGISTRY.items()))
-    if identity not in _REGISTRY_DIGESTS:
-        _REGISTRY_DIGESTS[identity] = canonical_digest(
-            {name: get_device(name).fingerprint() for name in sorted(DEVICE_REGISTRY)}
-        )
-    return _REGISTRY_DIGESTS[identity]
+    with _REGISTRY_DIGESTS_LOCK:
+        if identity not in _REGISTRY_DIGESTS:
+            _REGISTRY_DIGESTS[identity] = canonical_digest(
+                {
+                    name: get_device(name).fingerprint()
+                    for name in sorted(DEVICE_REGISTRY)
+                }
+            )
+        return _REGISTRY_DIGESTS[identity]
 
 
 def model_registry_digest() -> str:
@@ -272,15 +282,16 @@ def model_registry_digest() -> str:
     identity = ("models",) + tuple(
         sorted((name, id(cls)) for name, cls in MODEL_REGISTRY.items())
     )
-    if identity not in _REGISTRY_DIGESTS:
-        config = FrameConfig()
-        _REGISTRY_DIGESTS[identity] = canonical_digest(
-            {
-                name: workload_digest(get_model(name).build_workload(config))
-                for name in sorted(MODEL_REGISTRY)
-            }
-        )
-    return _REGISTRY_DIGESTS[identity]
+    with _REGISTRY_DIGESTS_LOCK:
+        if identity not in _REGISTRY_DIGESTS:
+            config = FrameConfig()
+            _REGISTRY_DIGESTS[identity] = canonical_digest(
+                {
+                    name: workload_digest(get_model(name).build_workload(config))
+                    for name in sorted(MODEL_REGISTRY)
+                }
+            )
+        return _REGISTRY_DIGESTS[identity]
 
 
 def environment_digest() -> str:

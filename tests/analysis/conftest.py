@@ -1,0 +1,10 @@
+"""Shared fixtures for the repro.analysis test suite."""
+
+import pytest
+from lint_fixtures import VIOLATIONS, write_tree
+
+
+@pytest.fixture()
+def violation_tree(tmp_path):
+    """A package tree with exactly one violation of every shipped rule."""
+    return write_tree(tmp_path / "tree", VIOLATIONS)

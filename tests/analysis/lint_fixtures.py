@@ -1,0 +1,71 @@
+"""Fixture sources for the repro.analysis test suite.
+
+``VIOLATIONS`` is a miniature package tree containing exactly one
+violation of each shipped rule, laid out under the dotted module paths the
+rules' scopes expect (``repro.sim``, ``repro.perf``, ...).  Both the
+framework tests and the CLI exit-code tests lint it.
+"""
+
+#: path-in-tree -> source, one deliberate violation per shipped rule.
+VIOLATIONS = {
+    # DET001: global-state RNG call in a deterministic subsystem.
+    "repro/sim/unseeded.py": (
+        "import random\n"
+        "\n"
+        "\n"
+        "def sample():\n"
+        "    return random.random()\n"
+    ),
+    # DET002: wall-clock read outside repro.perf.
+    "repro/nerf/clock.py": (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    ),
+    # DET003: set iteration feeding rendered output.
+    "repro/perf/tables.py": (
+        "def render(items):\n"
+        "    return ', '.join({str(item) for item in items})\n"
+    ),
+    # STORE001: device attribute invisible to the fingerprint.
+    "repro/core/device.py": (
+        "class Device:\n"
+        "    def _fingerprint_state(self):\n"
+        "        return {}\n"
+        "\n"
+        "\n"
+        "class BadDevice(Device):\n"
+        "    def __init__(self, rows):\n"
+        "        self.rows = rows\n"
+        "\n"
+        "    def _fingerprint_state(self):\n"
+        "        return {}\n"
+    ),
+    # PURE001: filesystem access inside an experiment run().
+    "repro/experiments/impure.py": (
+        "def run():\n"
+        "    return open('data.txt').read()\n"
+    ),
+    # CONC001: unlocked mutation of module-level shared state.
+    "repro/serve/state.py": (
+        "_CACHE = {}\n"
+        "\n"
+        "\n"
+        "def remember(key, value):\n"
+        "    _CACHE[key] = value\n"
+    ),
+}
+
+#: The rule each fixture file above violates, in file order.
+VIOLATED_RULES = ("DET001", "DET002", "DET003", "STORE001", "PURE001", "CONC001")
+
+
+def write_tree(root, files):
+    """Materialize a {relative path: source} mapping under ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root

@@ -28,6 +28,12 @@ ENFORCED_MODULES = (
     "repro.serve.scheduler",
     "repro.serve.fleet",
     "repro.serve.report",
+    "repro.analysis",
+    "repro.analysis.base",
+    "repro.analysis.baseline",
+    "repro.analysis.driver",
+    "repro.analysis.report",
+    "repro.analysis.rules",
 )
 
 

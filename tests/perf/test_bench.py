@@ -134,15 +134,27 @@ class TestValidateBench:
         broken["hot_path"] = {"tiling": {}}
         problems = validate_bench(broken)
         assert any("tiling" in p for p in problems)
-        assert any("operand_bytes" in p for p in problems)
 
-    def test_scene_and_fleet_sections_are_optional(self, quick_document):
-        # Pre-existing committed BENCH points lack the newer microbenchmarks
-        # and must keep validating.
+    def test_every_hot_path_section_is_optional(self, quick_document):
+        # Committed trajectory points span emitter generations: older ones
+        # lack scene_density / fleet_dispatch, and a future emitter may
+        # rename tiling / operand_bytes.  Any subset must keep validating.
         old_style = json.loads(json.dumps(quick_document))
         old_style["hot_path"].pop("scene_density")
         old_style["hot_path"].pop("fleet_dispatch")
         assert validate_bench(old_style) == []
+        minimal = json.loads(json.dumps(quick_document))
+        minimal["hot_path"] = {}
+        assert validate_bench(minimal) == []
+
+    def test_unknown_hot_path_sections_are_tolerated(self, quick_document):
+        # ... and a *newer* emitter's extra microbenchmarks validate here
+        # as long as they carry the one field every section promises.
+        newer = json.loads(json.dumps(quick_document))
+        newer["hot_path"]["ray_marcher"] = {"speedup": 3.0}
+        assert validate_bench(newer) == []
+        newer["hot_path"]["ray_marcher"] = {"num_rays": 64}
+        assert any("ray_marcher" in p for p in validate_bench(newer))
 
     def test_malformed_optional_section_rejected(self, quick_document):
         broken = json.loads(json.dumps(quick_document))
@@ -245,6 +257,21 @@ class TestCompareBench:
         full = variant_of(quick_document, quick=False)
         with pytest.raises(ValueError, match="quick"):
             compare_bench(quick_document, full)
+
+    def test_compare_spans_hot_path_generations(self, quick_document):
+        # An old point (no tiling / operand_bytes) against a new full one:
+        # the shared metrics are compared, the mismatched hot_path
+        # sections are skipped rather than failing validation.
+        old_point = variant_of(quick_document, revision="old")
+        old_point["hot_path"] = {
+            "scene_density": old_point["hot_path"]["scene_density"]
+        }
+        comparison = compare_bench(old_point, quick_document)
+        metrics = {row["metric"] for row in comparison["metrics"]}
+        assert "sweep.cold_s" in metrics
+        assert "hot_path.scene_density.speedup" in metrics
+        assert "hot_path.tiling.speedup" not in metrics
+        assert "hot_path.fleet_dispatch.speedup" not in metrics
 
     def test_invalid_document_rejected(self, quick_document):
         broken = variant_of(quick_document)
@@ -359,6 +386,22 @@ class TestTrend:
         text = render_trend(trend_report([first, second]))
         assert "vs previous" in text
         assert "!" in text
+
+    def test_trend_spans_hot_path_generations(self, quick_document, tmp_path):
+        # A trajectory mixing emitter generations (one point without the
+        # tiling / operand_bytes microbenchmarks, one with an extra future
+        # section) loads in full and renders one row per point.
+        old_point = self.make_point(quick_document, "aaa", "2026-08-01T10:00:00Z")
+        old_point["hot_path"] = {}
+        new_point = self.make_point(quick_document, "bbb", "2026-08-08T10:00:00Z")
+        new_point["hot_path"]["ray_marcher"] = {"speedup": 3.0}
+        (tmp_path / "BENCH_aaa.json").write_text(json.dumps(old_point))
+        (tmp_path / "BENCH_bbb.json").write_text(json.dumps(new_point))
+        documents = [doc for _, doc in load_bench_documents(tmp_path)]
+        assert [doc["revision"] for doc in documents] == ["aaa", "bbb"]
+        report = trend_report(documents)
+        assert len(report["points"]) == 2
+        assert report["points"][1]["deltas"]  # still compared across the mix
 
     def test_render_empty(self):
         assert "no valid BENCH" in render_trend(trend_report([]))
