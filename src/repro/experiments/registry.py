@@ -32,6 +32,9 @@ from repro.experiments import (  # noqa: F401
     serve_latency_sla,
     serve_fleet_mix,
     serve_batch_policy,
+    serve_overload_sla,
+    serve_autoscale,
+    serve_quality_shed,
 )
 from repro.experiments.api import (
     REGISTRY,

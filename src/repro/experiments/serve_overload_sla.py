@@ -1,0 +1,168 @@
+"""`serve-overload-sla`: SLO attainment vs offered load per control mechanism.
+
+The headline overload-control study: a single device is driven from just
+below saturation to ~3x past it, once per control mode -- uncontrolled,
+queue-cap admission, token-bucket admission, quality shedding, and
+admission + shedding combined.  Attainment is measured against the
+*offered* load (rejected requests count as misses), which is the number an
+end user experiences.  Uncontrolled, SLO attainment collapses past the
+knee because every request queues behind an unbounded backlog; admission
+keeps the queue finite by turning the excess away; shedding instead serves
+the excess from cheaper rungs of a PSNR-priced degradation ladder
+(:func:`repro.serve.control.price_ladder`), trading delivered quality for
+attainment without rejecting anyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments._serving import REFERENCE_MIX
+from repro.experiments.api import Column, Param, experiment
+from repro.serve.control import (
+    ControlConfig,
+    QueueCapAdmission,
+    QueueDepthShedder,
+    TokenBucketAdmission,
+    price_ladder,
+)
+from repro.serve.fleet import FleetSimulator
+from repro.serve.request import PoissonStream
+from repro.serve.scheduler import FIFOScheduler
+from repro.sim.sweep import SweepEngine, get_default_engine
+
+#: Offered loads swept by default: ~0.8x, 2x and 3x the single
+#: FlexNeRFer's ~25 rps capacity on the reference mix.
+DEFAULT_RATES = (20.0, 50.0, 75.0)
+
+
+@dataclass(frozen=True)
+class OverloadPoint:
+    """One (offered load, control mode) cell of the overload study."""
+
+    rate_rps: float
+    mode: str
+    num_requests: int
+    completed: int
+    rejected: int
+    shed: int
+    slo_attainment: float
+    sla_attainment: float
+    p95_latency_ms: float
+    mean_quality: float
+    goodput_rps: float
+
+
+@experiment(
+    "serve-overload-sla",
+    title="SLO attainment under overload per control mechanism",
+    tags=("serving",),
+    params=(
+        Param("device", str, "flexnerfer", help="device registry name to serve on"),
+        Param(
+            "rates",
+            float,
+            DEFAULT_RATES,
+            help="Poisson arrival rates to sweep (requests/s)",
+            repeated=True,
+        ),
+        Param("duration_s", float, 20.0, help="stream duration in seconds"),
+        Param("sla_ms", float, 250.0, help="per-request latency SLA"),
+        Param("max_queue", int, 5, help="queue-cap admission bound"),
+        Param("admit_rps", float, 24.0, help="token-bucket sustained admit rate"),
+        Param("admit_burst", float, 5.0, help="token-bucket burst headroom"),
+        Param(
+            "depth_per_step",
+            int,
+            4,
+            help="queued requests per worker per degradation-ladder rung",
+        ),
+        Param("seed", int, 0, help="request stream seed"),
+    ),
+    columns=(
+        Column("rate", ">6.0f", key="rate_rps"),
+        Column("mode", "<13", key="mode"),
+        Column("reqs", ">6", key="num_requests"),
+        Column("done", ">6", key="completed"),
+        Column("rej", ">5", key="rejected"),
+        Column("shed", ">5", key="shed"),
+        Column("SLO %", ">6.1f", value=lambda p: p.slo_attainment * 100),
+        Column("SLA %", ">6.1f", value=lambda p: p.sla_attainment * 100),
+        Column("p95 [ms]", ">9.1f", key="p95_latency_ms"),
+        Column("quality", ">8.3f", key="mean_quality"),
+        Column("goodput", ">8.1f", key="goodput_rps"),
+    ),
+)
+def run(
+    device: str = "flexnerfer",
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    duration_s: float = 20.0,
+    sla_ms: float = 250.0,
+    max_queue: int = 5,
+    admit_rps: float = 24.0,
+    admit_burst: float = 5.0,
+    depth_per_step: int = 4,
+    seed: int = 0,
+    engine: SweepEngine | None = None,
+) -> list[OverloadPoint]:
+    """Serve each offered load once per control mode and compare attainment."""
+    engine = engine or get_default_engine()
+    # Price the ladder once on the mix's dominant scenario; its measured
+    # PSNR-derived qualities are what the shed modes deliver.
+    ladder = price_ladder(REFERENCE_MIX.scenarios[0], device, engine=engine).ladder()
+    modes: tuple[tuple[str, ControlConfig | None], ...] = (
+        ("none", None),
+        ("queue-cap", ControlConfig(admission=QueueCapAdmission(max_queue))),
+        (
+            "token-bucket",
+            ControlConfig(
+                admission=TokenBucketAdmission(rate_rps=admit_rps, burst=admit_burst)
+            ),
+        ),
+        (
+            "shed",
+            ControlConfig(
+                shedder=QueueDepthShedder(ladder, depth_per_step=depth_per_step)
+            ),
+        ),
+        (
+            "cap+shed",
+            ControlConfig(
+                admission=QueueCapAdmission(max_queue),
+                shedder=QueueDepthShedder(ladder, depth_per_step=depth_per_step),
+            ),
+        ),
+    )
+    points: list[OverloadPoint] = []
+    for rate in rates:
+        stream = PoissonStream(
+            rate_rps=rate,
+            duration_s=duration_s,
+            mix=REFERENCE_MIX,
+            sla_s=sla_ms / 1e3,
+        )
+        requests = stream.generate(seed=seed)
+        for mode, control in modes:
+            simulator = FleetSimulator(
+                (device,),
+                scheduler=FIFOScheduler(),
+                engine=engine,
+                control=control,
+            )
+            report = simulator.run(requests)
+            points.append(
+                OverloadPoint(
+                    rate_rps=rate,
+                    mode=mode,
+                    num_requests=report.num_requests,
+                    completed=report.completed_requests,
+                    rejected=report.rejected_requests,
+                    shed=report.shed_requests,
+                    slo_attainment=report.slo_attainment,
+                    sla_attainment=report.sla_attainment,
+                    p95_latency_ms=report.p95_latency_s * 1e3,
+                    mean_quality=report.mean_quality,
+                    goodput_rps=report.goodput_rps,
+                )
+            )
+    return points

@@ -16,13 +16,38 @@ It is a third layer on top of the existing two:
    :class:`ServingReport` metrics (p50/p95/p99 latency, goodput,
    energy/request, per-device utilization).
 
+Overload control (:mod:`repro.serve.control`) layers on top: admission
+policies reject excess arrivals, a :class:`DegradationLadder` lets the
+fleet serve cheaper lower-PSNR frames under load, and autoscaler policies
+grow / shrink the active device pool -- see ``docs/serving-control.md``.
+
 Everything is deterministic under a fixed seed; see ``docs/architecture.md``
 for the end-to-end data flow.
 """
 
+from repro.serve.control import (
+    AdmissionPolicy,
+    AdmissionSession,
+    AutoscalePolicy,
+    ControlConfig,
+    DegradationLadder,
+    DegradationStep,
+    FleetSnapshot,
+    LadderPricing,
+    LatencyTargetAutoscaler,
+    PricedStep,
+    QueueCapAdmission,
+    QueueDepthAutoscaler,
+    QueueDepthShedder,
+    SheddingPolicy,
+    TokenBucketAdmission,
+    price_ladder,
+    quality_from_psnr,
+)
 from repro.serve.fleet import FleetSimulator
 from repro.serve.report import (
     CompletedRequest,
+    RejectedRequest,
     ServingReport,
     WorkerStats,
     percentile,
@@ -47,13 +72,27 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionSession",
+    "AutoscalePolicy",
     "BatchDeadlineScheduler",
     "CompletedRequest",
+    "ControlConfig",
+    "DegradationLadder",
+    "DegradationStep",
     "DiurnalStream",
     "Dispatch",
     "FIFOScheduler",
     "FleetSimulator",
+    "FleetSnapshot",
+    "LadderPricing",
+    "LatencyTargetAutoscaler",
     "PoissonStream",
+    "PricedStep",
+    "QueueCapAdmission",
+    "QueueDepthAutoscaler",
+    "QueueDepthShedder",
+    "RejectedRequest",
     "Request",
     "RequestStream",
     "Scenario",
@@ -61,9 +100,13 @@ __all__ = [
     "Scheduler",
     "ServiceEstimate",
     "ServingReport",
+    "SheddingPolicy",
     "SparsityAwareScheduler",
+    "TokenBucketAdmission",
     "TraceStream",
     "Worker",
     "WorkerStats",
     "percentile",
+    "price_ladder",
+    "quality_from_psnr",
 ]

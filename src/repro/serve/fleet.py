@@ -14,6 +14,15 @@ apart.  When the engine carries a persistent result store
 simulations are read from disk too, so a warm serving study performs no
 cycle-level simulation at all.
 
+A :class:`~repro.serve.control.ControlConfig` attaches an overload control
+plane: admission policies reject requests at ingress, a shedding policy
+serves degraded-but-cheaper scenarios when the queue an arrival observes is
+deep, and an autoscaler grows / shrinks the active worker subset on a fixed
+control tick (scale-out pays a provisioning delay; scale-in drains).
+Admission and shedding are decided at ingress from integer queue depths, so
+FIFO fleets keep the batched fast path *and* its bit-identical guarantee;
+autoscaling's feedback loop runs on the event loop only.
+
 The event loop is deterministic: events are ordered by ``(time, kind,
 sequence number)``, all simultaneous events are drained before the
 scheduler runs,
@@ -25,15 +34,23 @@ every ``--jobs`` setting.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import enum
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Sequence
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.serve.report import CompletedRequest, ServingReport
+from repro.serve.control import ControlConfig, FleetSnapshot
+from repro.serve.report import (
+    CompletedRequest,
+    RejectedRequest,
+    ServingReport,
+    percentile,
+)
 from repro.serve.scheduler import (
     Dispatch,
     FIFOScheduler,
@@ -44,15 +61,180 @@ from repro.serve.scheduler import (
 from repro.sim.sweep import SweepEngine, get_default_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.serve.request import Request
+    from repro.serve.request import Request, Scenario
 
 
 class _EventKind(enum.IntEnum):
-    """Event ordering at equal timestamps: arrivals, then completions, wakes."""
+    """Event ordering at equal timestamps: arrivals, completions, wakes, ticks."""
 
     ARRIVAL = 0
     COMPLETE = 1
     WAKE = 2
+    TICK = 3
+
+
+class _ControlState:
+    """Per-run mutable state of one :class:`ControlConfig` evaluation.
+
+    Built fresh inside every ``run()`` call so repeated runs of the same
+    simulator (and the same shared ``ControlConfig``) stay bit-identical:
+    admission sessions, shed-level stamps, the autoscaler's active flags
+    and latency window all live here and die with the run.
+    """
+
+    def __init__(self, config: ControlConfig, workers: Sequence[Worker]) -> None:
+        self.config = config
+        self.admission = (
+            config.admission.session() if config.admission is not None else None
+        )
+        self.shedder = config.shedder
+        self.autoscaler = config.autoscaler
+        pool = len(workers)
+        if self.autoscaler is not None:
+            initial = (
+                config.initial_workers
+                if config.initial_workers is not None
+                else self.autoscaler.min_workers
+            )
+            initial = self.autoscaler.clamp(initial, pool)
+        else:
+            initial = pool
+        self.active = [index < initial for index in range(pool)]
+        self.active_count = initial
+        self.peak_active = initial
+        self.tick_scheduled = False
+        self.latencies: collections.deque[float] | None = (
+            collections.deque(maxlen=self.autoscaler.latency_window)
+            if self.autoscaler is not None
+            else None
+        )
+        # Shed level stamped at ingress, keyed by request object identity
+        # (the queued object flows through to dispatch unchanged).
+        self.shed_levels: dict[int, int] = {}
+        # Degraded scenarios resolved once per (scenario, level); the id()
+        # probe mirrors the fast path's row cache, with a by-value fallback
+        # for distinct-but-equal scenario objects.
+        self._degraded_by_id: dict[tuple[int, int], "Scenario"] = {}
+        self._degraded_by_value: dict[tuple[object, int], "Scenario"] = {}
+        # Time-weighted active-worker accounting (autoscaler runs only).
+        self._integral_origin: float | None = None
+        self._last_change_s = 0.0
+        self._active_integral = 0.0
+
+    # -- ingress ---------------------------------------------------------------
+
+    def admit_or_reject(
+        self,
+        now: float,
+        request: "Request",
+        queue_depth: int,
+        rejected: list[RejectedRequest],
+    ) -> bool:
+        """Run admission + shed stamping for one arrival; False when rejected."""
+        if self.admission is not None and not self.admission.admit(now, queue_depth):
+            rejected.append(
+                RejectedRequest(
+                    request=request, time_s=now, reason=self.admission.reason
+                )
+            )
+            return False
+        if self.shedder is not None:
+            level = self.shedder.level(queue_depth, self.active_count)
+            if level:
+                self.shed_levels[id(request)] = level
+        return True
+
+    def degraded(self, scenario: "Scenario", level: int) -> "Scenario":
+        """The (cached) scenario actually served at ``level``."""
+        key = (id(scenario), level)
+        cached = self._degraded_by_id.get(key)
+        if cached is None:
+            value_key = (scenario, level)
+            cached = self._degraded_by_value.get(value_key)
+            if cached is None:
+                assert self.shedder is not None
+                cached = self.shedder.ladder.apply(scenario, level)
+                self._degraded_by_value[value_key] = cached
+            self._degraded_by_id[key] = cached
+        return cached
+
+    # -- autoscaling -----------------------------------------------------------
+
+    def begin(self, now: float) -> None:
+        """Anchor the active-worker time integral at the first event."""
+        self._integral_origin = now
+        self._last_change_s = now
+
+    def observe(self, records: Sequence[CompletedRequest]) -> None:
+        """Feed completion latencies into the autoscaler's window."""
+        if self.latencies is not None:
+            for record in records:
+                self.latencies.append(record.finish_s - record.request.arrival_s)
+
+    def autoscale(
+        self,
+        now: float,
+        workers: Sequence[Worker],
+        queue_depth: int,
+        schedule_wake: Callable[[float], None],
+    ) -> None:
+        """Evaluate the autoscaler once and apply its (clamped) decision."""
+        policy = self.autoscaler
+        assert policy is not None
+        self._account(now)
+        busy = sum(
+            1 for w in workers if self.active[w.index] and w.busy_until_s > now
+        )
+        recent = (
+            percentile(list(self.latencies), 95.0) if self.latencies else None
+        )
+        snapshot = FleetSnapshot(
+            now=now,
+            queue_depth=queue_depth,
+            active_workers=self.active_count,
+            busy_workers=busy,
+            pool_size=len(workers),
+            recent_p95_s=recent,
+        )
+        desired = policy.clamp(policy.desired_workers(snapshot), len(workers))
+        while desired > self.active_count:
+            index = next(i for i, a in enumerate(self.active) if not a)
+            self.active[index] = True
+            self.active_count += 1
+            worker = workers[index]
+            ready = now + self.config.provision_delay_s
+            if worker.busy_until_s < ready:
+                worker.busy_until_s = ready
+            if ready > now:
+                schedule_wake(ready)
+        while desired < self.active_count:
+            index = next(
+                i for i in range(len(self.active) - 1, -1, -1) if self.active[i]
+            )
+            # Drain: the worker finishes any in-flight dispatch and simply
+            # stops being eligible for new ones.
+            self.active[index] = False
+            self.active_count -= 1
+        if self.active_count > self.peak_active:
+            self.peak_active = self.active_count
+
+    def _account(self, now: float) -> None:
+        """Accumulate the active-worker time integral up to ``now``."""
+        if self._integral_origin is None:
+            self.begin(now)
+            return
+        self._active_integral += self.active_count * (now - self._last_change_s)
+        self._last_change_s = now
+
+    def mean_active(self, final_now: float) -> float:
+        """Time-weighted mean active workers over the simulated span."""
+        if self._integral_origin is None:
+            return float(self.active_count)
+        self._account(final_now)
+        span = final_now - self._integral_origin
+        if span <= 0.0:
+            return float(self.active_count)
+        return self._active_integral / span
 
 
 class FleetSimulator:
@@ -63,6 +245,10 @@ class FleetSimulator:
     three-chip fleet.  ``default_sla_s`` stamps a deadline onto requests that
     do not carry one; ``engine`` defaults to the shared process-wide sweep
     engine so serving runs reuse (and warm) the figures' report cache.
+    ``control`` attaches an overload control plane
+    (:class:`~repro.serve.control.ControlConfig`); with an autoscaler the
+    ``devices`` list is the *provisioned pool* and the policy decides how
+    much of it is active at any instant.
     """
 
     def __init__(
@@ -71,13 +257,15 @@ class FleetSimulator:
         scheduler: Scheduler | None = None,
         engine: SweepEngine | None = None,
         default_sla_s: float | None = None,
+        control: ControlConfig | None = None,
     ) -> None:
-        """Resolve the fleet's devices and bind the scheduler and engine."""
+        """Resolve the fleet's devices and bind scheduler, engine and control."""
         if not devices:
             raise ValueError("a fleet needs at least one device")
         self.engine = engine or get_default_engine()
         self.scheduler = scheduler or FIFOScheduler()
         self.default_sla_s = default_sla_s
+        self.control = control
         # Devices are resolved (and validated) once; per-run Worker state is
         # built fresh inside run(), so one simulator can serve many streams.
         self._fleet = [
@@ -117,24 +305,38 @@ class FleetSimulator:
         Plain FIFO fleets take the batched fast path
         (:meth:`_run_fifo_batched`), which produces a bit-identical report
         at an order of magnitude higher request throughput; every other
-        scheduler runs the discrete-event loop.
+        scheduler -- and any config with an autoscaler, whose tick feedback
+        has no closed form -- runs the discrete-event loop.  Admission and
+        shedding alone keep the fast path.
         """
-        if type(self.scheduler) is FIFOScheduler:
+        if type(self.scheduler) is FIFOScheduler and (
+            self.control is None or self.control.fast_path_compatible
+        ):
             return self._run_fifo_batched(requests)
         return self._run_event_loop(requests)
 
     def _run_event_loop(self, requests: Sequence["Request"]) -> ServingReport:
-        """The general discrete-event engine (any scheduler)."""
+        """The general discrete-event engine (any scheduler, full control)."""
         workers = [
             Worker(index=i, name=name, device=device)
             for i, (name, device) in enumerate(self._fleet)
         ]
+        state = (
+            _ControlState(self.control, workers)
+            if self.control is not None and self.control.active
+            else None
+        )
         seq = itertools.count()
         # Heap entries are (time, kind, seq, payload): at equal timestamps
-        # arrivals order before completions before wakes, then by push order.
+        # arrivals order before completions before wakes and control ticks,
+        # then by push order.
         events: list[tuple[float, int, int, object]] = []
         pending_arrivals = 0
-        for request in sorted(requests, key=lambda r: (r.arrival_s, r.request_id)):
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        arrival_span = (
+            ordered[-1].arrival_s - ordered[0].arrival_s if ordered else 0.0
+        )
+        for request in ordered:
             if request.deadline_s is None and self.default_sla_s is not None:
                 request = dataclasses.replace(
                     request, deadline_s=request.arrival_s + self.default_sla_s
@@ -147,34 +349,76 @@ class FleetSimulator:
 
         queue: list["Request"] = []
         completed: list[CompletedRequest] = []
+        rejected: list[RejectedRequest] = []
         scheduled_wakes: set[float] = set()
 
+        def schedule_wake(at: float) -> None:
+            """Queue a WAKE so scheduling re-runs when a worker becomes ready."""
+            if at not in scheduled_wakes:
+                scheduled_wakes.add(at)
+                heapq.heappush(events, (at, int(_EventKind.WAKE), next(seq), None))
+
+        autoscaling = state is not None and state.autoscaler is not None
+        if autoscaling and events:
+            first = events[0][0]
+            state.begin(first)
+            heapq.heappush(
+                events, (first + state.config.tick_s, int(_EventKind.TICK), next(seq), None)
+            )
+            state.tick_scheduled = True
+
+        now = 0.0
         while events:
             now = events[0][0]
+            tick_due = False
             # Drain every event at this timestamp before scheduling, so the
             # policy sees a consistent snapshot of queue + idle devices.
             while events and events[0][0] == now:
                 _, kind, _, payload = heapq.heappop(events)
                 if kind == int(_EventKind.ARRIVAL):
-                    queue.append(payload)
                     pending_arrivals -= 1
+                    if state is None or state.admit_or_reject(
+                        now, payload, len(queue), rejected
+                    ):
+                        queue.append(payload)
                 elif kind == int(_EventKind.COMPLETE):
                     completed.extend(payload)
-                else:  # WAKE: state already advanced, scheduling happens below
+                    if state is not None:
+                        state.observe(payload)
+                elif kind == int(_EventKind.WAKE):
                     scheduled_wakes.discard(now)
+                else:  # TICK: the autoscaler runs after the drain below
+                    tick_due = True
+                    state.tick_scheduled = False
+            if tick_due:
+                state.autoscale(now, workers, len(queue), schedule_wake)
+            if autoscaling and not state.tick_scheduled and (
+                pending_arrivals
+                or queue
+                or any(w.busy_until_s > now for w in workers)
+            ):
+                heapq.heappush(
+                    events,
+                    (now + state.config.tick_s, int(_EventKind.TICK), next(seq), None),
+                )
+                state.tick_scheduled = True
 
-            idle = [w for w in workers if w.busy_until_s <= now]
+            idle = [
+                w
+                for w in workers
+                if w.busy_until_s <= now
+                and (state is None or state.active[w.index])
+            ]
             dispatches, wake = self.scheduler.assign(
                 now, queue, idle, self.estimate, draining=pending_arrivals == 0
             )
             for dispatch in dispatches:
-                finish, records = self._serve(now, dispatch)
+                finish, records = self._serve(now, dispatch, state)
                 heapq.heappush(
                     events, (finish, int(_EventKind.COMPLETE), next(seq), records)
                 )
-            if wake is not None and wake > now and wake not in scheduled_wakes:
-                scheduled_wakes.add(wake)
-                heapq.heappush(events, (wake, int(_EventKind.WAKE), next(seq), None))
+            if wake is not None and wake > now:
+                schedule_wake(wake)
             if not events and queue:
                 raise RuntimeError(
                     f"scheduler '{self.scheduler.name}' stalled with "
@@ -187,19 +431,40 @@ class FleetSimulator:
             workers=workers,
             completed=completed,
             num_requests=len(requests),
+            rejected=tuple(rejected),
+            arrival_span_s=arrival_span,
+            peak_active_workers=state.peak_active if autoscaling else None,
+            mean_active_workers=state.mean_active(now) if autoscaling else None,
         )
 
     def _serve(
-        self, now: float, dispatch: Dispatch
+        self, now: float, dispatch: Dispatch, state: _ControlState | None = None
     ) -> tuple[float, tuple[CompletedRequest, ...]]:
-        """Occupy the dispatch's worker and build its completion records."""
+        """Occupy the dispatch's worker and build its completion records.
+
+        Under quality shedding a batch is rendered once at the *deepest*
+        shed level stamped on any of its members (a batch shares one render
+        configuration), and every member's record carries that level and
+        its delivered quality.
+        """
         worker = dispatch.worker
         if worker.busy_until_s > now:  # pragma: no cover - defensive
             raise RuntimeError(
                 f"{worker.label} dispatched at {now} but busy until "
                 f"{worker.busy_until_s}"
             )
-        per_frame = self.estimate(dispatch.requests[0], worker)
+        level = 0
+        quality = 1.0
+        scenario = dispatch.requests[0].scenario
+        if state is not None and state.shedder is not None:
+            level = max(
+                state.shed_levels.get(id(request), 0)
+                for request in dispatch.requests
+            )
+            if level:
+                quality = state.shedder.ladder.quality_of(level)
+                scenario = state.degraded(scenario, level)
+        per_frame = self._estimate_scenario(scenario, worker)
         batch = len(dispatch.requests)
         service_s = worker.device.service_time_s(per_frame.latency_s, batch)
         energy_j = worker.device.service_energy_j(per_frame.energy_j, batch)
@@ -217,6 +482,8 @@ class FleetSimulator:
                 finish_s=finish,
                 batch_size=batch,
                 energy_j=energy_j / batch,
+                shed_level=level,
+                quality=quality,
             )
             for request in dispatch.requests
         )
@@ -239,7 +506,14 @@ class FleetSimulator:
         accumulation runs in the same dispatch order as the event loop, so
         the resulting :class:`ServingReport` -- including the ``completed``
         log -- is bit-identical (pinned by ``tests/serve/test_fleet.py``).
+
+        Admission and shedding configs take :meth:`_run_fifo_controlled`,
+        which extends the same closed form (the queue depth a request
+        observes at ingress is a pure function of already-computed start
+        times); the control-free hot loop below is untouched.
         """
+        if self.control is not None and self.control.active:
+            return self._run_fifo_controlled(requests)
         workers = [
             Worker(index=i, name=name, device=device)
             for i, (name, device) in enumerate(self._fleet)
@@ -256,6 +530,9 @@ class FleetSimulator:
         n = len(ordered)
         k = len(workers)
         labels = [w.label for w in workers]
+        arrival_span = (
+            ordered[-1].arrival_s - ordered[0].arrival_s if ordered else 0.0
+        )
         # (service_s, energy_j) per worker, resolved once per scenario.
         # Streams share scenario instances, so the id() probe almost always
         # hits; the by-value fallback keeps distinct-but-equal scenario
@@ -324,7 +601,8 @@ class FleetSimulator:
             batches[chosen] += 1
             # CompletedRequest construction dominates the pass at dataclass
             # __init__ speed; __new__ plus direct __dict__ stores builds the
-            # same frozen instances ~3x faster.
+            # same frozen instances ~3x faster (shed_level / quality fall
+            # back to the dataclass defaults on this control-free path).
             record = new_completion(CompletedRequest)
             fields = record.__dict__
             fields["request"] = request
@@ -376,4 +654,191 @@ class FleetSimulator:
             deadlines=deadlines,
             batch_sizes=[1] * n,
             energies=energy_col,
+            arrival_span_s=arrival_span,
+        )
+
+    def _run_fifo_controlled(self, requests: Sequence["Request"]) -> ServingReport:
+        """The FIFO fast path with admission control and quality shedding.
+
+        Extends the closed form of :meth:`_run_fifo_batched`: both controls
+        are decided at ingress from the queue depth the arrival observes,
+        and in FIFO order that depth is exactly ``admitted so far minus
+        starts before this arrival`` -- start times are non-decreasing in
+        ``(arrival, request_id)`` order, so one :func:`bisect_left` over
+        the running start list recovers the event loop's ``len(queue)``
+        bit for bit (the differential fuzz suite pins this).  Service rows
+        are resolved once per (scenario, shed level, worker).
+        """
+        control = self.control
+        assert control is not None
+        session = (
+            control.admission.session() if control.admission is not None else None
+        )
+        shedder = control.shedder
+        ladder = shedder.ladder if shedder is not None else None
+        workers = [
+            Worker(index=i, name=name, device=device)
+            for i, (name, device) in enumerate(self._fleet)
+        ]
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        if self.default_sla_s is not None:
+            sla = self.default_sla_s
+            ordered = [
+                r
+                if r.deadline_s is not None
+                else dataclasses.replace(r, deadline_s=r.arrival_s + sla)
+                for r in ordered
+            ]
+        k = len(workers)
+        labels = [w.label for w in workers]
+        arrival_span = (
+            ordered[-1].arrival_s - ordered[0].arrival_s if ordered else 0.0
+        )
+        rows_by_key: dict[
+            tuple[int, int], tuple[tuple[float, ...], tuple[float, ...]]
+        ] = {}
+        rows_by_value: dict[
+            tuple[object, int], tuple[tuple[float, ...], tuple[float, ...]]
+        ] = {}
+
+        free = [w.busy_until_s for w in workers]
+        busy = [0.0] * k
+        worker_energy = [0.0] * k
+        served = [0] * k
+        batches = [0] * k
+        completed: list[CompletedRequest] = []
+        rejected: list[RejectedRequest] = []
+        ids: list[int] = []
+        arrivals: list[float] = []
+        starts: list[float] = []
+        finishes: list[float] = []
+        energies: list[float] = []
+        deadlines: list[float | None] = []
+        qualities: list[float] = []
+        shed_levels: list[int] = []
+        admitted = 0
+        new_completion = CompletedRequest.__new__
+
+        for request in ordered:
+            arrival = request.arrival_s
+            # Queue depth this arrival observes: previously admitted
+            # requests whose service has not started strictly before it.
+            depth = admitted - bisect_left(starts, arrival)
+            if session is not None and not session.admit(arrival, depth):
+                rejected.append(
+                    RejectedRequest(
+                        request=request, time_s=arrival, reason=session.reason
+                    )
+                )
+                continue
+            level = shedder.level(depth, k) if shedder is not None else 0
+            scenario = request.scenario
+            key = (id(scenario), level)
+            row = rows_by_key.get(key)
+            if row is None:
+                value_key = (scenario, level)
+                row = rows_by_value.get(value_key)
+                if row is None:
+                    serve_scenario = (
+                        ladder.apply(scenario, level) if level else scenario
+                    )
+                    estimates = [
+                        self._estimate_scenario(serve_scenario, w) for w in workers
+                    ]
+                    row = (
+                        tuple(
+                            w.device.service_time_s(e.latency_s, 1)
+                            for w, e in zip(workers, estimates)
+                        ),
+                        tuple(
+                            w.device.service_energy_j(e.energy_j, 1)
+                            for w, e in zip(workers, estimates)
+                        ),
+                    )
+                    rows_by_value[value_key] = row
+                rows_by_key[key] = row
+            service_row, energy_row = row
+            chosen = -1
+            for j in range(k):
+                if free[j] <= arrival:
+                    chosen = j
+                    start = arrival
+                    break
+            if chosen < 0:
+                chosen = 0
+                start = free[0]
+                for j in range(1, k):
+                    if free[j] < start:
+                        start = free[j]
+                        chosen = j
+            service_s = service_row[chosen]
+            energy_j = energy_row[chosen]
+            finish = start + service_s
+            free[chosen] = finish
+            busy[chosen] += service_s
+            worker_energy[chosen] += energy_j
+            served[chosen] += 1
+            batches[chosen] += 1
+            quality = ladder.quality_of(level) if ladder is not None else 1.0
+            record = new_completion(CompletedRequest)
+            fields = record.__dict__
+            fields["request"] = request
+            fields["worker"] = labels[chosen]
+            fields["start_s"] = start
+            fields["finish_s"] = finish
+            fields["batch_size"] = 1
+            fields["energy_j"] = energy_j
+            fields["shed_level"] = level
+            fields["quality"] = quality
+            completed.append(record)
+            admitted += 1
+            ids.append(request.request_id)
+            arrivals.append(arrival)
+            starts.append(start)
+            finishes.append(finish)
+            energies.append(energy_j)
+            deadlines.append(request.deadline_s)
+            qualities.append(quality)
+            shed_levels.append(level)
+
+        for j, worker in enumerate(workers):
+            worker.busy_until_s = free[j]
+            worker.busy_s = busy[j]
+            worker.energy_j = worker_energy[j]
+            worker.requests_served = served[j]
+            worker.batches_served = batches[j]
+
+        n = len(completed)
+        arrival_col = np.asarray(arrivals, dtype=np.float64)
+        start_col = np.asarray(starts, dtype=np.float64)
+        finish_col = np.asarray(finishes, dtype=np.float64)
+        energy_col = np.asarray(energies, dtype=np.float64)
+        id_col = np.asarray(ids, dtype=np.int64)
+        if n and np.any(id_col[1:] < id_col[:-1]):
+            order = np.argsort(id_col, kind="stable")
+            arrival_col = arrival_col[order]
+            start_col = start_col[order]
+            finish_col = finish_col[order]
+            energy_col = energy_col[order]
+            positions = order.tolist()
+            completed = [completed[i] for i in positions]
+            deadlines = [deadlines[i] for i in positions]
+            qualities = [qualities[i] for i in positions]
+            shed_levels = [shed_levels[i] for i in positions]
+        return ServingReport.from_arrays(
+            scheduler=self.scheduler.name,
+            fleet=tuple(w.name for w in workers),
+            workers=workers,
+            completed=tuple(completed),
+            num_requests=len(requests),
+            arrivals=arrival_col,
+            starts=start_col,
+            finishes=finish_col,
+            deadlines=deadlines,
+            batch_sizes=[1] * n,
+            energies=energy_col,
+            qualities=qualities,
+            shed_levels=shed_levels,
+            rejected=tuple(rejected),
+            arrival_span_s=arrival_span,
         )

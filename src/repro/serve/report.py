@@ -49,7 +49,14 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class CompletedRequest:
-    """One served request: who ran it, when, and at what energy cost."""
+    """One served request: who ran it, when, and at what energy cost.
+
+    ``shed_level`` / ``quality`` record quality shedding
+    (:mod:`repro.serve.control`): level 0 / quality 1.0 is a full-quality
+    serve, higher levels mean the fleet served a cheaper rung of the
+    degradation ladder (a batch is rendered once, so every member shares
+    the batch's level).
+    """
 
     request: "Request"
     worker: str
@@ -57,6 +64,8 @@ class CompletedRequest:
     finish_s: float
     batch_size: int
     energy_j: float
+    shed_level: int = 0
+    quality: float = 1.0
 
     @property
     def latency_s(self) -> float:
@@ -73,6 +82,15 @@ class CompletedRequest:
         """Whether the request finished inside its SLA (no deadline -> True)."""
         deadline = self.request.deadline_s
         return deadline is None or self.finish_s <= deadline
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """One request turned away at ingress by an admission policy."""
+
+    request: "Request"
+    time_s: float
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -95,6 +113,13 @@ class ServingReport:
     All aggregate fields are derived deterministically from ``completed``
     via :meth:`from_completions`; ``completed`` itself is kept (excluded
     from equality) for drill-down analysis.
+
+    With a control plane attached (:mod:`repro.serve.control`) the report
+    also accounts for the other two request outcomes: ``rejected_requests``
+    were turned away at ingress (conservation holds: ``num_requests ==
+    completed_requests + rejected_requests``), and ``shed_requests`` were
+    completed at reduced quality, summarized by the delivered-quality
+    mean / percentiles (1.0 when nothing was shed).
     """
 
     scheduler: str
@@ -113,7 +138,18 @@ class ServingReport:
     mean_batch_size: float
     energy_per_request_j: float
     workers: tuple[WorkerStats, ...]
+    rejected_requests: int = 0
+    shed_requests: int = 0
+    met_deadline_requests: int = 0
+    mean_quality: float = 1.0
+    p50_quality: float = 1.0
+    p05_quality: float = 1.0
+    peak_active_workers: int = 0
+    mean_active_workers: float = 0.0
     completed: tuple[CompletedRequest, ...] = field(
+        default=(), compare=False, repr=False
+    )
+    rejected: tuple[RejectedRequest, ...] = field(
         default=(), compare=False, repr=False
     )
 
@@ -125,6 +161,10 @@ class ServingReport:
         workers: Sequence["Worker"],
         completed: Sequence[CompletedRequest],
         num_requests: int,
+        rejected: Sequence[RejectedRequest] = (),
+        arrival_span_s: float | None = None,
+        peak_active_workers: int | None = None,
+        mean_active_workers: float | None = None,
     ) -> "ServingReport":
         """Aggregate a completed-request log into the uniform report shape."""
         completed = tuple(sorted(completed, key=lambda c: c.request.request_id))
@@ -142,6 +182,12 @@ class ServingReport:
             deadlines=[c.request.deadline_s for c in completed],
             batch_sizes=[c.batch_size for c in completed],
             energies=np.array([c.energy_j for c in completed], dtype=np.float64),
+            qualities=[c.quality for c in completed],
+            shed_levels=[c.shed_level for c in completed],
+            rejected=rejected,
+            arrival_span_s=arrival_span_s,
+            peak_active_workers=peak_active_workers,
+            mean_active_workers=mean_active_workers,
         )
 
     @classmethod
@@ -158,6 +204,12 @@ class ServingReport:
         deadlines: Sequence[float | None],
         batch_sizes: Sequence[int],
         energies: np.ndarray,
+        qualities: Sequence[float] | None = None,
+        shed_levels: Sequence[int] | None = None,
+        rejected: Sequence[RejectedRequest] = (),
+        arrival_span_s: float | None = None,
+        peak_active_workers: int | None = None,
+        mean_active_workers: float | None = None,
     ) -> "ServingReport":
         """Aggregate pre-extracted per-request columns into a report.
 
@@ -167,6 +219,12 @@ class ServingReport:
         per-object aggregation, so reports are bit-identical whichever
         entry point built them; the column form just skips per-completion
         attribute and property calls on the fleet fast path's hot loop.
+
+        ``arrival_span_s`` is the arrival span of *all offered* requests
+        (the simulator computes it before admission); without it the span
+        of the completed log is used, which under-reports offered load
+        when requests were rejected -- and is undefined (0) when *every*
+        request was, the empty-report edge the control plane exposed.
         """
         n = len(completed)
         # All rates share one time origin -- the first arrival -- so replayed
@@ -178,7 +236,10 @@ class ServingReport:
         first_arrival = float(arrivals.min()) if n else 0.0
         last_finish = float(finishes.max()) if n else 0.0
         makespan = last_finish - first_arrival if n else 0.0
-        arrival_span = float(arrivals.max()) - first_arrival if n else 0.0
+        if arrival_span_s is not None:
+            arrival_span = arrival_span_s
+        else:
+            arrival_span = float(arrivals.max()) - first_arrival if n else 0.0
         # Elementwise float64 subtraction matches the per-completion
         # ``finish_s - arrival_s`` property exactly; sums run left-to-right
         # over the request-id order, as the per-object loop always did.
@@ -194,6 +255,14 @@ class ServingReport:
             met = int(np.count_nonzero(finishes <= deadline_bounds))
         else:
             met = 0
+        if qualities is None:
+            qualities = []
+        quality_list = list(qualities)
+        ordered_qualities = sorted(quality_list)
+        shed = sum(1 for level in shed_levels if level > 0) if shed_levels else 0
+        rejected_log = tuple(
+            sorted(rejected, key=lambda r: r.request.request_id)
+        )
         worker_stats = tuple(
             WorkerStats(
                 worker=w.label,
@@ -223,8 +292,38 @@ class ServingReport:
             mean_batch_size=sum(batch_sizes) / n if n else 0.0,
             energy_per_request_j=sum(energies.tolist()) / n if n else 0.0,
             workers=worker_stats,
+            rejected_requests=len(rejected_log),
+            shed_requests=shed,
+            met_deadline_requests=met,
+            mean_quality=sum(quality_list) / n if quality_list else 1.0,
+            p50_quality=_interpolate(ordered_qualities, 50.0) if quality_list else 1.0,
+            p05_quality=_interpolate(ordered_qualities, 5.0) if quality_list else 1.0,
+            peak_active_workers=(
+                peak_active_workers
+                if peak_active_workers is not None
+                else len(worker_stats)
+            ),
+            mean_active_workers=(
+                mean_active_workers
+                if mean_active_workers is not None
+                else float(len(worker_stats))
+            ),
             completed=completed,
+            rejected=rejected_log,
         )
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *offered* requests that finished inside their SLA.
+
+        Unlike :attr:`sla_attainment` (which conditions on completion),
+        rejected requests count against the SLO here -- this is the number
+        an end user experiences, and the one the overload-control
+        experiments compare.  An empty offered load trivially attains 1.0.
+        """
+        if self.num_requests == 0:
+            return 1.0
+        return self.met_deadline_requests / self.num_requests
 
     @property
     def mean_utilization(self) -> float:
@@ -240,6 +339,15 @@ class ServingReport:
             "fleet": list(self.fleet),
             "num_requests": self.num_requests,
             "completed_requests": self.completed_requests,
+            "rejected_requests": self.rejected_requests,
+            "shed_requests": self.shed_requests,
+            "met_deadline_requests": self.met_deadline_requests,
+            "slo_attainment": self.slo_attainment,
+            "mean_quality": self.mean_quality,
+            "p50_quality": self.p50_quality,
+            "p05_quality": self.p05_quality,
+            "peak_active_workers": self.peak_active_workers,
+            "mean_active_workers": self.mean_active_workers,
             "makespan_s": self.makespan_s,
             "offered_rps": self.offered_rps,
             "goodput_rps": self.goodput_rps,

@@ -27,6 +27,7 @@ ENFORCED_MODULES = (
     "repro.serve.request",
     "repro.serve.scheduler",
     "repro.serve.fleet",
+    "repro.serve.control",
     "repro.serve.report",
     "repro.analysis",
     "repro.analysis.base",

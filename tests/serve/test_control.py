@@ -1,0 +1,282 @@
+"""Unit tests for the overload-control policies and their report edges.
+
+Covers the pure policy math of :mod:`repro.serve.control` (token-bucket
+refill, queue caps, shedding levels, autoscaler hysteresis and clamping,
+degradation-step pricing arithmetic) plus the report-shape regressions the
+control plane exposed: an admission policy can reject *every* request, so
+``ServingReport`` must produce a well-defined report with zero completions
+-- the empty-percentile / div-by-zero edge pinned here on both simulator
+paths.
+"""
+
+import math
+
+import pytest
+
+from repro.serve.control import (
+    AdmissionPolicy,
+    AdmissionSession,
+    ControlConfig,
+    DegradationLadder,
+    DegradationStep,
+    FleetSnapshot,
+    LatencyTargetAutoscaler,
+    QueueCapAdmission,
+    QueueDepthAutoscaler,
+    QueueDepthShedder,
+    TokenBucketAdmission,
+    quality_from_psnr,
+)
+from repro.serve.fleet import FleetSimulator
+from repro.serve.request import PoissonStream, Scenario, ScenarioMix
+from repro.serve.scheduler import FIFOScheduler
+from repro.sim.sweep import SweepEngine
+from repro.sparse.formats import Precision
+
+MIX = ScenarioMix(scenarios=(Scenario("instant-ngp", width=96, height=96),))
+
+LADDER = DegradationLadder(
+    steps=(
+        DegradationStep("half-res", resolution_scale=0.5),
+        DegradationStep("quarter-res", resolution_scale=0.25),
+    ),
+    qualities=(0.8, 0.5),
+)
+
+
+def snapshot(queue_depth=0, active=2, busy=2, pool=4, p95=None, now=1.0):
+    return FleetSnapshot(
+        now=now,
+        queue_depth=queue_depth,
+        active_workers=active,
+        busy_workers=busy,
+        pool_size=pool,
+        recent_p95_s=p95,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        session = TokenBucketAdmission(rate_rps=2.0, burst=2.0).session()
+        # Bucket starts full: two immediate admits, the third is rejected.
+        assert session.admit(0.0, queue_depth=0)
+        assert session.admit(0.0, queue_depth=0)
+        assert not session.admit(0.0, queue_depth=0)
+        # 0.5 s at 2 tokens/s refills exactly one token.
+        assert session.admit(0.5, queue_depth=0)
+        assert not session.admit(0.5, queue_depth=0)
+
+    def test_refill_caps_at_burst(self):
+        session = TokenBucketAdmission(rate_rps=10.0, burst=1.0).session()
+        assert session.admit(0.0, queue_depth=0)
+        # A long gap refills to the burst cap, not beyond it.
+        assert session.admit(100.0, queue_depth=0)
+        assert not session.admit(100.0, queue_depth=0)
+
+    def test_sessions_are_independent(self):
+        policy = TokenBucketAdmission(rate_rps=1.0, burst=1.0)
+        first = policy.session()
+        assert first.admit(0.0, queue_depth=0)
+        assert not first.admit(0.0, queue_depth=0)
+        # A fresh session starts with a full bucket again.
+        assert policy.session().admit(0.0, queue_depth=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(rate_rps=1.0, burst=0.5)
+
+
+class TestQueueCap:
+    def test_caps_on_observed_depth(self):
+        session = QueueCapAdmission(max_queue=2).session()
+        assert session.admit(0.0, queue_depth=0)
+        assert session.admit(0.0, queue_depth=1)
+        assert not session.admit(0.0, queue_depth=2)
+        # Stateless: a drained queue admits again.
+        assert session.admit(1.0, queue_depth=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueCapAdmission(max_queue=0)
+
+
+class TestShedder:
+    def test_level_quantizes_backlog_per_worker(self):
+        shedder = QueueDepthShedder(LADDER, depth_per_step=4)
+        assert shedder.level(queue_depth=0, active_workers=1) == 0
+        assert shedder.level(queue_depth=3, active_workers=1) == 0
+        assert shedder.level(queue_depth=4, active_workers=1) == 1
+        assert shedder.level(queue_depth=8, active_workers=1) == 2
+        # Saturates at the ladder depth.
+        assert shedder.level(queue_depth=400, active_workers=1) == LADDER.depth
+        # Backlog is per active worker.
+        assert shedder.level(queue_depth=8, active_workers=2) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueDepthShedder(LADDER, depth_per_step=0)
+
+
+class TestLadder:
+    def test_quality_of_levels(self):
+        assert LADDER.depth == 2
+        assert LADDER.quality_of(0) == 1.0
+        assert LADDER.quality_of(1) == 0.8
+        assert LADDER.quality_of(2) == 0.5
+
+    def test_step_apply_scales_resolution_and_overrides_knobs(self):
+        scenario = Scenario("instant-ngp", width=400, height=300)
+        step = DegradationStep(
+            "int8-half", resolution_scale=0.5, precision=Precision.INT8
+        )
+        degraded = step.apply(scenario)
+        assert (degraded.width, degraded.height) == (200, 150)
+        assert degraded.precision is Precision.INT8
+        # Unset knobs pass through.
+        assert degraded.model == scenario.model
+        assert degraded.pruning_ratio == scenario.pruning_ratio
+
+    def test_sample_scale_prices_as_equivalent_resolution(self):
+        step = DegradationStep("half-samples", sample_scale=0.5)
+        assert step.work_scale == pytest.approx(math.sqrt(0.5))
+        degraded = step.apply(Scenario("instant-ngp", width=100, height=100))
+        assert degraded.width == round(100 * math.sqrt(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(steps=(), qualities=())
+        with pytest.raises(ValueError):
+            DegradationLadder(steps=LADDER.steps, qualities=(0.8,))
+        with pytest.raises(ValueError):
+            DegradationLadder(steps=LADDER.steps, qualities=(0.8, 1.5))
+        with pytest.raises(ValueError):
+            DegradationStep("bad", resolution_scale=0.0)
+        with pytest.raises(ValueError):
+            DegradationStep("bad", sample_scale=1.5)
+
+    def test_quality_from_psnr(self):
+        assert quality_from_psnr(40.0) == 1.0
+        assert quality_from_psnr(math.inf) == 1.0
+        assert quality_from_psnr(20.0) == 0.5
+
+
+class TestAutoscalers:
+    def test_queue_depth_hysteresis(self):
+        policy = QueueDepthAutoscaler(scale_out_depth=4, scale_in_depth=0)
+        # Deep backlog (>= 4 per active worker) scales out by one.
+        assert policy.desired_workers(snapshot(queue_depth=8, active=2)) == 3
+        # Drained queue with an idle worker scales in by one.
+        assert policy.desired_workers(snapshot(queue_depth=0, active=2, busy=1)) == 1
+        # Drained queue but everyone busy: hold.
+        assert policy.desired_workers(snapshot(queue_depth=0, active=2, busy=2)) == 2
+        # Moderate backlog: hold.
+        assert policy.desired_workers(snapshot(queue_depth=5, active=2)) == 2
+
+    def test_latency_target_hysteresis(self):
+        policy = LatencyTargetAutoscaler(target_p95_s=0.2, low_fraction=0.5)
+        # No completions observed yet: hold.
+        assert policy.desired_workers(snapshot(active=2, p95=None)) == 2
+        assert policy.desired_workers(snapshot(active=2, p95=0.3)) == 3
+        assert policy.desired_workers(snapshot(active=2, busy=1, p95=0.05)) == 1
+        # Inside the hysteresis band: hold.
+        assert policy.desired_workers(snapshot(active=2, busy=1, p95=0.15)) == 2
+
+    def test_clamp_respects_pool_and_bounds(self):
+        policy = QueueDepthAutoscaler(min_workers=2, max_workers=5)
+        assert policy.clamp(0, pool_size=8) == 2
+        assert policy.clamp(7, pool_size=8) == 5
+        assert policy.clamp(7, pool_size=4) == 4
+        assert policy.clamp(3, pool_size=8) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(min_workers=0)
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(scale_out_depth=0)
+        with pytest.raises(ValueError):
+            LatencyTargetAutoscaler(target_p95_s=0.0)
+        with pytest.raises(ValueError):
+            LatencyTargetAutoscaler(low_fraction=1.0)
+
+
+class TestControlConfig:
+    def test_fast_path_compatibility(self):
+        assert ControlConfig(admission=QueueCapAdmission(3)).fast_path_compatible
+        assert not ControlConfig(
+            autoscaler=QueueDepthAutoscaler()
+        ).fast_path_compatible
+
+    def test_active(self):
+        assert not ControlConfig().active
+        assert ControlConfig(shedder=QueueDepthShedder(LADDER)).active
+
+
+class _RejectAllSession(AdmissionSession):
+    reason = "closed"
+
+    def admit(self, now, queue_depth):
+        return False
+
+
+class _RejectAll(AdmissionPolicy):
+    """Degenerate policy: the service is closed, everyone is turned away."""
+
+    def session(self):
+        return _RejectAllSession()
+
+
+class TestEmptyReportRegression:
+    """Zero completions must still produce a well-defined report.
+
+    An admission policy can reject *every* offered request; historically
+    ``ServingReport`` assumed at least one completion (percentiles over an
+    empty log, offered load over an empty arrival span).  Pin the exact
+    empty-report shape, identically on both simulator paths.
+    """
+
+    def test_all_rejected_report_shape(self):
+        stream = PoissonStream(rate_rps=40.0, duration_s=2.0, mix=MIX, sla_s=0.2)
+        requests = stream.generate(seed=0)
+        control = ControlConfig(admission=_RejectAll())
+        simulator = FleetSimulator(
+            ("flexnerfer",),
+            scheduler=FIFOScheduler(),
+            engine=SweepEngine(),
+            control=control,
+        )
+        fast = simulator.run(requests)
+        slow = simulator._run_event_loop(requests)
+        assert fast == slow
+        assert fast.rejected == slow.rejected
+        assert fast.num_requests == len(requests)
+        assert fast.completed_requests == 0
+        assert fast.rejected_requests == len(requests)
+        assert {r.reason for r in fast.rejected} == {"closed"}
+        # The percentile / mean edge: all-zero latencies, full quality.
+        assert fast.p50_latency_s == 0.0
+        assert fast.p95_latency_s == 0.0
+        assert fast.p99_latency_s == 0.0
+        assert fast.mean_latency_s == 0.0
+        assert fast.mean_quality == 1.0
+        assert fast.p05_quality == 1.0
+        # Offered load is measured over the *offered* arrival span, so it
+        # stays honest even though nothing completed.
+        assert fast.offered_rps > 0.0
+        assert fast.goodput_rps == 0.0
+        assert fast.sla_attainment == 1.0  # conditions on completions
+        assert fast.slo_attainment == 0.0  # conditions on offered load
+        assert fast.makespan_s == 0.0
+
+    def test_empty_stream_report(self):
+        simulator = FleetSimulator(
+            ("flexnerfer",), scheduler=FIFOScheduler(), engine=SweepEngine()
+        )
+        report = simulator.run(())
+        assert report == simulator._run_event_loop(())
+        assert report.num_requests == 0
+        assert report.slo_attainment == 1.0
+        assert report.mean_quality == 1.0

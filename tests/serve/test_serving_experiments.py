@@ -17,13 +17,23 @@ from repro.experiments import (
 )
 from repro.experiments.cli import main, run_many
 
-SERVING_IDS = ("serve-latency-sla", "serve-fleet-mix", "serve-batch-policy")
+SERVING_IDS = (
+    "serve-latency-sla",
+    "serve-fleet-mix",
+    "serve-batch-policy",
+    "serve-overload-sla",
+    "serve-autoscale",
+    "serve-quality-shed",
+)
 
 #: Quick-turnaround overrides so the determinism tests stay snappy.
 QUICK = {
     "serve-latency-sla": {"rates": (10.0, 25.0), "duration_s": 10.0},
     "serve-fleet-mix": {"duration_s": 10.0},
     "serve-batch-policy": {"max_batches": (1, 8), "duration_s": 10.0},
+    "serve-overload-sla": {"rates": (20.0, 50.0), "duration_s": 8.0},
+    "serve-autoscale": {"duration_s": 20.0},
+    "serve-quality-shed": {"depths": (8, 2), "duration_s": 8.0},
 }
 
 
@@ -40,7 +50,7 @@ def _tail_metrics(result):
 
 
 class TestRegistration:
-    def test_serving_tag_selects_all_three(self):
+    def test_serving_tag_selects_all_six(self):
         assert [e.id for e in experiments_by_tag("serving")] == list(SERVING_IDS)
 
     @pytest.mark.parametrize("exp_id", SERVING_IDS)
@@ -81,6 +91,33 @@ class TestDeterminism:
         assert rows[-1].goodput_rps < rows[-1].rate_rps * 0.5
         again = run_experiment("serve-latency-sla", rates=(10.0, 20.0, 30.0))
         assert result.rows == again.rows
+
+
+class TestOverloadControl:
+    """Acceptance bar for the overload-control PR.
+
+    At >=2x a single device's capacity, admission control and quality
+    shedding must each *strictly* improve SLO attainment over the
+    uncontrolled baseline -- the headline claim of ``serve-overload-sla``.
+    """
+
+    def test_each_mechanism_strictly_improves_slo_at_2x_overload(self):
+        result = run_experiment("serve-overload-sla", rates=(50.0,))
+        by_mode = {point.mode: point for point in result.raw}
+        baseline = by_mode["none"].slo_attainment
+        for mode in ("queue-cap", "token-bucket", "shed", "cap+shed"):
+            assert by_mode[mode].slo_attainment > baseline, mode
+        # Shedding keeps everyone: it buys attainment with quality, not
+        # rejections, so quality drops below the baseline's 1.0 instead.
+        assert by_mode["shed"].rejected == 0
+        assert by_mode["shed"].shed > 0
+        assert by_mode["shed"].mean_quality < by_mode["none"].mean_quality
+        # Admission keeps full quality and turns the excess away instead.
+        assert by_mode["queue-cap"].rejected > 0
+        assert by_mode["queue-cap"].mean_quality == 1.0
+        # Offered requests are conserved in every mode.
+        for point in result.raw:
+            assert point.completed + point.rejected == point.num_requests
 
 
 class TestCLI:
