@@ -10,6 +10,9 @@ Usage::
     repro assemble <pack.json ...> [--store DIR] [--run SELECTORS]
                    [--format table|json|csv] [--out DIR] [--check DIR]
                    [--no-run] [per-experiment param flags]
+    repro plan <spec> [--shard I/N] [--pack PATH] [--format table|json|csv]
+               [--out PATH] [--check PATH] [--store DIR] [--no-store]
+               [--jobs N] [--sla-ms X] [--min-attainment F]
     repro docs [--out PATH] [--check]
     repro lint [--format table|json] [--rules ID[,ID]] [--root PATH]
                [--baseline PATH] [--update-baseline]
@@ -28,6 +31,9 @@ Examples::
     repro shard all --index 2 --count 4 --store .shard-store \\
         --pack packs/shard-2.json    # one machine's quarter of the evaluation
     repro assemble packs/*.json --out assembled/ --check artifacts/
+    repro plan tiny                   # Pareto frontier of the built-in tiny space
+    repro plan reference --sla-ms 250 --min-attainment 0.99
+    repro plan reference --shard 0/2 --store .plan-store --pack packs/plan-0.json
     repro docs --check
     repro lint                        # determinism / cache-safety pass, exits 1 on findings
     repro lint --rules DET001,CONC001 --format json
@@ -41,6 +47,15 @@ an experiment selection (partitioned by result-store cache key), persisting
 every frame and result entry it produces; ``repro assemble`` merges the
 shards' exported packs back into one store and replays the full selection
 store-warm -- see ``docs/distributed.md`` for the scaling recipe.
+
+``repro plan`` searches a fleet capacity-plan space (:mod:`repro.plan`):
+every candidate (device mix, worker count, scheduler, control variant) is
+simulated against the spec's traffic and scored, the Pareto frontier over
+(cost/request, p99, energy/request) is reported, and ``--sla-ms`` /
+``--min-attainment`` solve for the cheapest feasible point.  Evaluated
+points are cached in the store's plan tier, so ``--shard I/N`` + ``repro
+assemble --no-run`` distribute a large space across machines and a final
+serial ``repro plan`` replays it warm -- see ``docs/planning.md``.
 
 Every selected experiment's typed parameters are exposed as ``--flag value``
 options (``repro list --format json`` shows them); a flag applies to every
@@ -162,6 +177,23 @@ COMMANDS: tuple[CommandSpec, ...] = (
         ),
     ),
     CommandSpec(
+        "plan",
+        "search a fleet plan space and report its Pareto frontier",
+        operands=(("spec", "built-in plan-space name (tiny, reference) or a JSON spec file"),),
+        options=(
+            CommandOption("--shard", "I/N", "evaluate only this shard of the space's plan points"),
+            CommandOption("--pack", "PATH", "export the populated store as a portable pack file"),
+            CommandOption("--format", "table|json|csv", "output rendering (default: table)"),
+            CommandOption("--out", "PATH", "write the rendered plan to a file instead of stdout"),
+            CommandOption("--check", "PATH", "verify output matches a reference file (wall-clock field excluded)"),
+            CommandOption("--store", "DIR", "result store caching evaluated points (default: $REPRO_STORE_DIR or .repro-store)"),
+            CommandOption("--no-store", "", "bypass the persistent result store (force re-evaluation)"),
+            CommandOption("--jobs", "N", "evaluate up to N candidates concurrently"),
+            CommandOption("--sla-ms", "X", "constraint: cheapest point with p99 <= X milliseconds"),
+            CommandOption("--min-attainment", "F", "constraint: require SLO attainment >= F (in [0, 1])"),
+        ),
+    ),
+    CommandSpec(
         "docs",
         "regenerate the experiment catalog (docs/experiments.md)",
         options=(
@@ -239,6 +271,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_shard(rest)
         if command == "assemble":
             return _cmd_assemble(rest)
+        if command == "plan":
+            return _cmd_plan(rest)
         if command == "docs":
             return _cmd_docs(rest)
         if command == "lint":
@@ -765,6 +799,248 @@ def _cmd_assemble(args: list[str]) -> int:
         )
     if "--out" not in options and "--check" not in options:
         _print_results(results, fmt, sys.stdout)
+    return 0
+
+
+# -- repro plan ---------------------------------------------------------------
+
+
+def _parse_shard_option(text: str):
+    """Parse an ``I/N`` shard designator into a ``Shard`` (one-line errors)."""
+    from repro.perf.distributed import Shard
+
+    parts = text.split("/")
+    if len(parts) != 2:
+        raise CLIError(f"--shard: invalid shard '{text}' (expected I/N)")
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise CLIError(f"--shard: invalid shard '{text}' (expected I/N)") from None
+    try:
+        return Shard(index, count)
+    except ValueError as exc:
+        raise CLIError(f"--shard: {exc}") from None
+
+
+def _parse_float_option(options: dict[str, str], flag: str) -> float:
+    """The float value of ``flag`` (present in ``options``), or a CLI error."""
+    try:
+        return float(options[flag])
+    except ValueError:
+        raise CLIError(f"{flag}: invalid number '{options[flag]}'") from None
+
+
+def _plan_point_dict(evaluated) -> dict[str, Any]:
+    """One evaluated plan point as a flat JSON-safe mapping."""
+    payload = evaluated.to_payload()
+    return {**payload["point"], **payload["metrics"]}
+
+
+def _plan_table(document: dict[str, Any]) -> str:
+    """Fixed-width frontier table of a plan document."""
+    header = (
+        f"{'fleet':<24} {'n':>2} {'scheduler':<15} {'control':<12} "
+        f"{'$/Mreq':>10} {'p99 [ms]':>9} {'mJ/req':>8} {'SLO %':>6}"
+    )
+    lines = [header]
+    for row in document["frontier"]:
+        fleet = "+".join(row["fleet"])
+        lines.append(
+            f"{fleet:<24} {len(row['fleet']):>2} {row['scheduler']:<15} "
+            f"{row['control']:<12} {row['cost_per_request'] * 1e6:>10.4f} "
+            f"{row['p99_latency_s'] * 1e3:>9.2f} "
+            f"{row['energy_per_request_j'] * 1e3:>8.2f} "
+            f"{row['slo_attainment'] * 100:>6.1f}"
+        )
+    if not document["frontier"]:
+        lines.append("(empty frontier: no plan points evaluated)")
+    constraint = document.get("constraint")
+    if constraint is not None:
+        solution = constraint["solution"]
+        fleet = "+".join(solution["fleet"])
+        lines.append(
+            f"cheapest feasible: {fleet} ({solution['scheduler']}, "
+            f"{solution['control']}) at {solution['cost_per_request'] * 1e6:.4f} "
+            f"$/Mreq, p99 {solution['p99_latency_s'] * 1e3:.2f} ms, "
+            f"attainment {solution['slo_attainment'] * 100:.1f}%"
+        )
+    return "\n".join(lines)
+
+
+_PLAN_CSV_FIELDS = (
+    "scheduler",
+    "control",
+    "cost_per_request",
+    "p99_latency_s",
+    "energy_per_request_j",
+    "slo_attainment",
+    "goodput_rps",
+    "completed_requests",
+)
+
+
+def _plan_csv(document: dict[str, Any]) -> str:
+    """CSV rendering of a plan document's frontier rows."""
+    lines = ["fleet," + ",".join(_PLAN_CSV_FIELDS)]
+    for row in document["frontier"]:
+        cells = ["+".join(row["fleet"])]
+        cells += [repr(row[field]) if isinstance(row[field], float) else str(row[field])
+                  for field in _PLAN_CSV_FIELDS]
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def _render_plan(document: dict[str, Any], fmt: str) -> str:
+    """Render a plan document as table, JSON or CSV text."""
+    if fmt == "json":
+        import json
+
+        return json.dumps(document, indent=2)
+    if fmt == "csv":
+        return _plan_csv(document)
+    summary = (
+        f"plan {document['spec']}: frontier {len(document['frontier'])} of "
+        f"{document['evaluated']} evaluated points "
+        f"({document['enumerated']} enumerated)"
+    )
+    return summary + "\n" + _plan_table(document)
+
+
+def _cmd_plan(args: list[str]) -> int:
+    """Search a fleet plan space: evaluate, reduce to the Pareto frontier."""
+    import time
+
+    from repro.experiments.api import _repo_version
+    from repro.perf.distributed import normalize_result_json
+    from repro.plan import (
+        OBJECTIVES,
+        cheapest_feasible,
+        evaluate_space,
+        load_space,
+        pareto_frontier,
+        space_digest,
+    )
+
+    no_store = "--no-store" in args
+    args = [a for a in args if a != "--no-store"]
+    positionals, options, _ = _split_args(
+        args,
+        (
+            "--shard",
+            "--pack",
+            "--format",
+            "--out",
+            "--check",
+            "--store",
+            "--jobs",
+            "--sla-ms",
+            "--min-attainment",
+        ),
+    )
+    if len(positionals) != 1:
+        raise CLIError(
+            "pass exactly one plan spec (a built-in name or a JSON spec file)"
+        )
+    fmt = options.get("--format", "table")
+    if fmt not in RUN_FORMATS:
+        raise CLIError(f"invalid format '{fmt}'; valid: {', '.join(RUN_FORMATS)}")
+    shard = _parse_shard_option(options["--shard"]) if "--shard" in options else None
+    jobs = _parse_jobs(options.get("--jobs", "1"))
+    sla_ms = _parse_float_option(options, "--sla-ms") if "--sla-ms" in options else None
+    min_attainment = (
+        _parse_float_option(options, "--min-attainment")
+        if "--min-attainment" in options
+        else None
+    )
+    if min_attainment is not None and not 0.0 <= min_attainment <= 1.0:
+        raise CLIError(f"--min-attainment must be in [0, 1], got {min_attainment}")
+    if no_store and "--store" in options:
+        raise CLIError("--no-store and --store are mutually exclusive")
+    if no_store and "--pack" in options:
+        raise CLIError("--pack exports the store; drop --no-store to use it")
+
+    try:
+        space = load_space(positionals[0])
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+
+    if no_store:
+        _configure_store(True)
+        store = None
+    else:
+        store = _attach_store(options.get("--store"))
+
+    start = time.perf_counter()  # repro: lint-ignore[DET002]
+    evaluation = evaluate_space(space, store=store, shard=shard, jobs=jobs)
+    wall_time_s = time.perf_counter() - start  # repro: lint-ignore[DET002]
+    frontier = pareto_frontier(evaluation.points)
+
+    constraint: dict[str, Any] | None = None
+    if sla_ms is not None or min_attainment is not None:
+        solution = cheapest_feasible(
+            evaluation.points,
+            max_p99_s=None if sla_ms is None else sla_ms / 1000.0,
+            min_attainment=min_attainment,
+        )
+        if solution is None:
+            bounds = []
+            if sla_ms is not None:
+                bounds.append(f"p99 <= {sla_ms:g} ms")
+            if min_attainment is not None:
+                bounds.append(f"attainment >= {min_attainment:g}")
+            raise CLIError(
+                f"infeasible constraint: no evaluated point has "
+                f"{' and '.join(bounds)} "
+                f"({len(evaluation.points)} points evaluated)"
+            )
+        constraint = {
+            "sla_ms": sla_ms,
+            "min_attainment": min_attainment,
+            "solution": _plan_point_dict(solution),
+        }
+
+    document: dict[str, Any] = {
+        "spec": space.name,
+        "space": space.canonical(),
+        "space_digest": space_digest(space),
+        "shard": None if shard is None else {"index": shard.index, "count": shard.count},
+        "enumerated": evaluation.enumerated,
+        "evaluated": len(evaluation.points),
+        "objectives": list(OBJECTIVES),
+        "frontier": [_plan_point_dict(point) for point in frontier],
+        "constraint": constraint,
+        "provenance": {
+            "repo_version": _repo_version(),
+            "wall_time_s": wall_time_s,
+        },
+    }
+
+    print(
+        f"plan {space.name}: {len(evaluation.points)} of "
+        f"{evaluation.enumerated} points evaluated "
+        f"({evaluation.fresh} fresh, {evaluation.cached} cached)"
+    )
+    text = _render_plan(document, fmt)
+    text = text if text.endswith("\n") else text + "\n"
+    if "--out" in options:
+        path = Path(options["--out"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}")
+    else:
+        sys.stdout.write(text)
+    if "--pack" in options and store is not None:
+        path = store.export_pack(Path(options["--pack"]))
+        print(f"wrote pack {path} ({store.stats().entries} store entries)")
+    if "--check" in options:
+        reference = Path(options["--check"])
+        if not reference.exists():
+            print(f"error: {reference}: missing reference file", file=sys.stderr)
+            return 1
+        if normalize_result_json(reference.read_text()) != normalize_result_json(text):
+            print(f"error: {reference}: plan output differs", file=sys.stderr)
+            return 1
+        print(f"plan output matches {reference}")
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.experiments import (  # noqa: F401
     serve_overload_sla,
     serve_autoscale,
     serve_quality_shed,
+    plan_frontier,
 )
 from repro.experiments.api import (
     REGISTRY,

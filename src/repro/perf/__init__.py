@@ -24,6 +24,7 @@ from repro.perf.store import (
     ExperimentResultKey,
     MergeStats,
     PackConflictError,
+    PlanPointKey,
     ResultStore,
     StoreKey,
     device_registry_digest,
@@ -50,6 +51,7 @@ __all__ = [
     "ExperimentResultKey",
     "MergeStats",
     "PackConflictError",
+    "PlanPointKey",
     "ResultStore",
     "StoreKey",
     "device_registry_digest",

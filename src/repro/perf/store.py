@@ -212,6 +212,38 @@ class ExperimentResultKey:
 
 
 @dataclass(frozen=True)
+class PlanPointKey:
+    """Content address of one evaluated capacity-plan point (the plan tier).
+
+    ``space_digest`` hashes everything a plan evaluation's outcome depends
+    on besides the candidate itself: the traffic spec, the cost-model
+    constants and the simulation environment digest (so any device-model
+    or NeRF-descriptor edit invalidates every cached evaluation).
+    ``point_digest`` hashes the candidate (fleet, scheduler, control
+    variant).  Plan entries shard, pack and assemble through the same
+    machinery as every other tier -- ``repro plan --shard I/N`` partitions
+    these digests exactly as ``repro shard`` partitions result keys.
+    """
+
+    space_digest: str
+    point_digest: str
+    schema_version: int = STORE_SCHEMA_VERSION
+
+    kind = "plan"
+
+    @property
+    def digest(self) -> str:
+        """The key's SHA-1 content address (the stored file's basename)."""
+        return canonical_digest(
+            (
+                self.space_digest,
+                self.point_digest,
+                self.schema_version,
+            )
+        )
+
+
+@dataclass(frozen=True)
 class GridAssetKey:
     """Content address of one fitted hash-grid table set (the asset tier).
 
@@ -441,7 +473,7 @@ class ResultStore:
         version = self.schema_version if schema_version is None else schema_version
         return self.root / f"v{version}"
 
-    def path_for(self, key: "StoreKey | ExperimentResultKey | GridAssetKey") -> Path:
+    def path_for(self, key: "StoreKey | ExperimentResultKey | GridAssetKey | PlanPointKey") -> Path:
         """On-disk location of ``key``'s entry."""
         digest = key.digest
         return (
@@ -463,7 +495,7 @@ class ResultStore:
     # -- read / write ----------------------------------------------------------
 
     def _read_document(
-        self, key: "StoreKey | ExperimentResultKey | GridAssetKey"
+        self, key: "StoreKey | ExperimentResultKey | GridAssetKey | PlanPointKey"
     ) -> dict[str, Any] | None:
         """The raw JSON document stored under ``key``, or None on any problem."""
         path = self.path_for(key)
@@ -485,7 +517,7 @@ class ResultStore:
 
     def _write_document(
         self,
-        key: "StoreKey | ExperimentResultKey | GridAssetKey",
+        key: "StoreKey | ExperimentResultKey | GridAssetKey | PlanPointKey",
         document: dict[str, Any],
     ) -> Path:
         """Atomically persist one entry; readers never see partial files.
@@ -598,6 +630,34 @@ class ResultStore:
                     "experiment_id": key.experiment_id,
                     "params_fingerprint": key.params_fingerprint,
                     "environment_digest": key.environment_digest,
+                },
+                "payload": payload,
+            },
+        )
+
+    def get_plan(self, key: PlanPointKey) -> dict[str, Any] | None:
+        """The cached plan-point payload for ``key``, or None.
+
+        The payload is whatever :meth:`put_plan` stored -- by convention the
+        serialized ``repro.plan.evaluate.EvaluatedPoint`` mapping (candidate
+        fleet plus its scored serving metrics).
+        """
+        data = self._read_document(key)
+        if data is None:
+            return None
+        payload = data.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put_plan(self, key: PlanPointKey, payload: dict[str, Any]) -> Path:
+        """Persist one evaluated plan point under ``key`` atomically."""
+        return self._write_document(
+            key,
+            {
+                "schema_version": key.schema_version,
+                "created_s": time.time(),
+                "key": {
+                    "space_digest": key.space_digest,
+                    "point_digest": key.point_digest,
                 },
                 "payload": payload,
             },

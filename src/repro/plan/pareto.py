@@ -1,0 +1,70 @@
+"""Pareto-frontier reduction and the feasibility constraint solver.
+
+The planner minimizes three objectives jointly -- dollars per request,
+p99 latency and energy per request (:data:`repro.plan.evaluate.OBJECTIVES`)
+-- and reduces the evaluated candidates two ways:
+
+* :func:`pareto_frontier` keeps every non-dominated point, ordered by a
+  deterministic tie-break, so ``repro plan`` output is byte-stable;
+* :func:`cheapest_feasible` answers the capacity question directly:
+  the cheapest point whose p99 holds under the SLA at the required SLO
+  attainment.
+
+Both are brute-force over the evaluated set (plan spaces are small; the
+expensive part is evaluation, which the store caches), which is exactly
+what lets the property suite certify them against an independent
+re-derivation.
+"""
+
+from typing import Sequence
+
+from repro.plan.evaluate import EvaluatedPoint
+
+
+def dominates(a: EvaluatedPoint, b: EvaluatedPoint) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (<= everywhere, < somewhere)."""
+    ao, bo = a.objectives, b.objectives
+    return all(x <= y for x, y in zip(ao, bo)) and any(
+        x < y for x, y in zip(ao, bo)
+    )
+
+
+def pareto_frontier(
+    points: Sequence[EvaluatedPoint],
+) -> tuple[EvaluatedPoint, ...]:
+    """Every evaluated point no other point dominates.
+
+    Points with identical objective vectors do not dominate each other, so
+    exact ties all stay on the frontier.  The result is sorted by
+    ``EvaluatedPoint.sort_key`` (objectives, then fleet / scheduler /
+    control labels) -- a deterministic order independent of input order.
+    """
+    frontier = [
+        candidate
+        for candidate in points
+        if not any(dominates(other, candidate) for other in points)
+    ]
+    return tuple(sorted(frontier, key=lambda point: point.sort_key))
+
+
+def cheapest_feasible(
+    points: Sequence[EvaluatedPoint],
+    max_p99_s: float | None = None,
+    min_attainment: float | None = None,
+) -> EvaluatedPoint | None:
+    """The cheapest point meeting the latency / attainment constraints.
+
+    ``max_p99_s`` bounds p99 latency (inclusive); ``min_attainment``
+    bounds SLO attainment over offered load (inclusive).  Ties on cost
+    break by the same deterministic ``sort_key`` order the frontier uses.
+    Returns ``None`` when no evaluated point is feasible.
+    """
+    feasible = [
+        point
+        for point in points
+        if (max_p99_s is None or point.p99_latency_s <= max_p99_s)
+        and (min_attainment is None or point.slo_attainment >= min_attainment)
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda point: point.sort_key)

@@ -51,6 +51,7 @@ from repro.serve.report import (
     ServingReport,
     WorkerStats,
     percentile,
+    sorted_percentile,
 )
 from repro.serve.request import (
     DiurnalStream,
@@ -109,4 +110,5 @@ __all__ = [
     "percentile",
     "price_ladder",
     "quality_from_psnr",
+    "sorted_percentile",
 ]

@@ -483,6 +483,21 @@ class LadderPricing:
     base_energy_j: float
     rows: tuple[PricedStep, ...]
 
+    def __post_init__(self) -> None:
+        """Reject rungs that price *slower* than full quality.
+
+        A degradation rung exists to buy latency headroom; a step whose
+        measured speedup is below 1 would make the shedder serve backlog
+        more slowly at lower quality -- strictly worse on both axes -- so
+        it is a configuration error, not a valid ladder.
+        """
+        for row in self.rows:
+            if row.speedup < 1.0:
+                raise ValueError(
+                    f"ladder step '{row.step.label}' on {self.device} prices "
+                    f"slower than full quality (speedup {row.speedup:.3f} < 1)"
+                )
+
     def ladder(self) -> DegradationLadder:
         """The measured :class:`DegradationLadder` (qualities from PSNR)."""
         return DegradationLadder(

@@ -23,8 +23,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.scheduler import Worker
 
 
-def _interpolate(ordered: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile of already-sorted ``ordered``."""
+def sorted_percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of already-sorted ``ordered``.
+
+    This is THE percentile definition of the serving layer: both
+    :meth:`ServingReport.from_arrays` (the fast path's reducer) and the
+    event-loop path (via :func:`percentile`) delegate here, so p50/p95/p99
+    semantics cannot drift between them.  A one-element log returns its
+    single sample for every ``q``; longer logs interpolate linearly at
+    position ``(q / 100) * (n - 1)`` -- e.g. the p95 of a two-element log
+    is ``0.05 * low + 0.95 * high``.  Pure Python on purpose: serving
+    metrics stay bit-reproducible everywhere the event loop is.
+    """
     if len(ordered) == 1:
         return ordered[0]
     position = (q / 100.0) * (len(ordered) - 1)
@@ -37,14 +47,14 @@ def _interpolate(ordered: Sequence[float], q: float) -> float:
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
 
-    Implemented in pure Python so the serving metrics are bit-reproducible
-    everywhere the event loop is.
+    Validates and sorts, then delegates to :func:`sorted_percentile` --
+    the single pinned implementation shared with the report reducers.
     """
     if not values:
         raise ValueError("percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    return _interpolate(sorted(values), q)
+    return sorted_percentile(sorted(values), q)
 
 
 @dataclass(frozen=True)
@@ -284,9 +294,9 @@ class ServingReport:
             offered_rps=num_requests / arrival_span if arrival_span > 0 else 0.0,
             goodput_rps=met / makespan if makespan > 0 else 0.0,
             sla_attainment=met / n if n else 1.0,
-            p50_latency_s=_interpolate(ordered_latencies, 50.0) if n else 0.0,
-            p95_latency_s=_interpolate(ordered_latencies, 95.0) if n else 0.0,
-            p99_latency_s=_interpolate(ordered_latencies, 99.0) if n else 0.0,
+            p50_latency_s=sorted_percentile(ordered_latencies, 50.0) if n else 0.0,
+            p95_latency_s=sorted_percentile(ordered_latencies, 95.0) if n else 0.0,
+            p99_latency_s=sorted_percentile(ordered_latencies, 99.0) if n else 0.0,
             mean_latency_s=sum(latencies) / n if n else 0.0,
             mean_wait_s=sum(waits) / n if n else 0.0,
             mean_batch_size=sum(batch_sizes) / n if n else 0.0,
@@ -296,8 +306,8 @@ class ServingReport:
             shed_requests=shed,
             met_deadline_requests=met,
             mean_quality=sum(quality_list) / n if quality_list else 1.0,
-            p50_quality=_interpolate(ordered_qualities, 50.0) if quality_list else 1.0,
-            p05_quality=_interpolate(ordered_qualities, 5.0) if quality_list else 1.0,
+            p50_quality=sorted_percentile(ordered_qualities, 50.0) if quality_list else 1.0,
+            p05_quality=sorted_percentile(ordered_qualities, 5.0) if quality_list else 1.0,
             peak_active_workers=(
                 peak_active_workers
                 if peak_active_workers is not None

@@ -23,6 +23,10 @@ ENFORCED_MODULES = (
     "repro.perf.store",
     "repro.perf.bench",
     "repro.perf.distributed",
+    "repro.plan",
+    "repro.plan.space",
+    "repro.plan.evaluate",
+    "repro.plan.pareto",
     "repro.serve",
     "repro.serve.request",
     "repro.serve.scheduler",

@@ -36,6 +36,8 @@ from repro.perf.store import (
 from repro.sim.sweep import SweepEngine, SweepSpec
 from repro.sparse.formats import Precision
 
+from tests._differential import assert_text_matches_modulo_wall_time
+
 SMALL_SPEC = SweepSpec(
     devices=("flexnerfer", "neurex"),
     models=("instant-ngp",),
@@ -400,16 +402,7 @@ class TestShardAssembleCLI:
         for exp_id in self.IDS:
             serial = (serial_out / f"{exp_id}.json").read_text()
             assembled = (assembled_out / f"{exp_id}.json").read_text()
-            # Byte-identical once the volatile wall-clock field is masked...
-            assert normalize_result_json(serial) == normalize_result_json(
-                assembled
-            )
-            # ...and the masking touches nothing but wall_time_s.
-            serial_doc = json.loads(serial)
-            assembled_doc = json.loads(assembled)
-            serial_doc["provenance"].pop("wall_time_s")
-            assembled_doc["provenance"].pop("wall_time_s")
-            assert serial_doc == assembled_doc
+            assert_text_matches_modulo_wall_time(serial, assembled, exp_id)
 
     def test_check_flags_a_divergent_reference(
         self, capsys, monkeypatch, tmp_path

@@ -1,0 +1,13 @@
+"""Shared fixtures for the capacity-planner suites."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _detach_default_store():
+    """Plan CLI runs attach stores to the shared engine; detach after each
+    test so other modules keep the pure in-memory path."""
+    yield
+    from repro.sim.sweep import get_default_engine
+
+    get_default_engine().attach_store(None)

@@ -1,0 +1,259 @@
+"""CLI surface of ``repro plan``: error paths, formats, shard differential.
+
+Error paths follow the pinned-exit-code pattern of
+``tests/experiments/test_cli.py``: status 2 and a one-line ``error:``
+message, never a traceback.  The differential class pins the acceptance
+criterion end to end: a 2-shard ``repro plan`` run assembles byte-identical
+(modulo wall-time provenance) to the serial run, with zero re-evaluations
+on the warm store.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.perf.distributed import shard_index
+from repro.plan.space import PLAN_SPECS, plan_point_key
+
+from tests._differential import assert_text_matches_modulo_wall_time
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def write_spec(tmp_path, name="custom.json", **overrides):
+    spec = {
+        "devices": ["flexnerfer", "neurex"],
+        "worker_counts": [1],
+        "traffic": {"rate_rps": 20.0, "duration_s": 1.0, "sla_ms": 100.0},
+    }
+    spec.update(overrides)
+    path = tmp_path / name
+    path.write_text(json.dumps(spec))
+    return path
+
+
+class TestErrorPaths:
+    """Every user mistake exits 2 with a one-line error (no tracebacks)."""
+
+    def assert_one_liner(self, code, err, fragment):
+        assert code == 2
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert fragment in err
+
+    def test_unknown_spec(self, capsys):
+        code, _, err = run_cli(capsys, "plan", "nope", "--no-store")
+        self.assert_one_liner(code, err, "unknown plan spec 'nope'")
+
+    def test_unknown_device_in_spec_file(self, capsys, tmp_path):
+        path = write_spec(tmp_path, devices=["flexnerfer", "warpdrive"])
+        code, _, err = run_cli(capsys, "plan", str(path), "--no-store")
+        self.assert_one_liner(code, err, "unknown device 'warpdrive'")
+
+    def test_infeasible_constraint(self, capsys):
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--sla-ms", "0.001"
+        )
+        self.assert_one_liner(code, err, "infeasible constraint")
+        assert "p99 <= 0.001 ms" in err
+
+    def test_missing_spec_operand(self, capsys):
+        code, _, err = run_cli(capsys, "plan")
+        self.assert_one_liner(code, err, "exactly one plan spec")
+
+    def test_bad_shard_designators(self, capsys):
+        for bad in ("2", "a/b", "3/2", "-1/2"):
+            code, _, err = run_cli(
+                capsys, "plan", "tiny", "--no-store", "--shard", bad
+            )
+            assert code == 2, bad
+            assert err.startswith("error: --shard:"), bad
+
+    def test_bad_format(self, capsys):
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--format", "xml"
+        )
+        self.assert_one_liner(code, err, "invalid format 'xml'")
+
+    def test_bad_min_attainment(self, capsys):
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--min-attainment", "1.5"
+        )
+        self.assert_one_liner(code, err, "--min-attainment must be in [0, 1]")
+
+    def test_store_flag_conflicts(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--store", str(tmp_path / "s")
+        )
+        self.assert_one_liner(code, err, "mutually exclusive")
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--pack", str(tmp_path / "p.json")
+        )
+        self.assert_one_liner(code, err, "--pack exports the store")
+
+    def test_unknown_option(self, capsys):
+        code, _, err = run_cli(capsys, "plan", "tiny", "--frobnicate", "1")
+        self.assert_one_liner(code, err, "unknown option '--frobnicate'")
+
+
+class TestOutputs:
+    def test_table_output_lists_frontier(self, capsys):
+        code, out, err = run_cli(capsys, "plan", "tiny", "--no-store")
+        assert code == 0 and err == ""
+        assert "plan tiny: 5 of 5 points evaluated (5 fresh, 0 cached)" in out
+        assert "frontier" in out and "$/Mreq" in out
+        assert "flexnerfer" in out
+
+    def test_json_output_structure(self, capsys, tmp_path):
+        out_path = tmp_path / "plan.json"
+        code, out, _ = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--format", "json",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["spec"] == "tiny"
+        assert document["enumerated"] == 5 and document["evaluated"] == 5
+        assert document["objectives"] == [
+            "cost_per_request",
+            "p99_latency_s",
+            "energy_per_request_j",
+        ]
+        assert document["frontier"], "serial run must emit a nonempty frontier"
+        assert document["constraint"] is None
+        assert "wall_time_s" in document["provenance"]
+
+    def test_csv_output_has_header_and_rows(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--format", "csv"
+        )
+        assert code == 0
+        lines = out.splitlines()
+        header = [l for l in lines if l.startswith("fleet,scheduler,control")]
+        assert len(header) == 1
+        assert "cost_per_request" in header[0]
+        assert len(lines) > lines.index(header[0]) + 1, "no data rows"
+
+    def test_constraint_solution_rendered(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "plan", "tiny", "--no-store", "--sla-ms", "120",
+            "--min-attainment", "0.9",
+        )
+        assert code == 0
+        assert "cheapest feasible:" in out
+
+    def test_empty_frontier_on_shard_owning_nothing(self, capsys, tmp_path):
+        # A single-point space: exactly one of two shards owns the point,
+        # so the other evaluates nothing and reports an empty frontier.
+        path = write_spec(tmp_path, devices=["flexnerfer"])
+        from repro.plan.space import load_space
+
+        space = load_space(str(path))
+        (point,) = space.enumerate_points()
+        empty = 1 - shard_index(plan_point_key(space, point), 2)
+        code, out, err = run_cli(
+            capsys, "plan", str(path), "--no-store", "--shard", f"{empty}/2"
+        )
+        assert code == 0 and err == ""
+        assert "0 of 1 points evaluated" in out
+        assert "(empty frontier: no plan points evaluated)" in out
+
+
+class TestShardDifferential:
+    """The acceptance pin: sharded plan == serial plan, warm and byte-exact."""
+
+    def plan(self, capsys, *argv):
+        code, out, err = run_cli(capsys, "plan", *argv)
+        assert code == 0, err
+        return out
+
+    def test_two_shard_assemble_matches_serial(self, capsys, tmp_path):
+        serial_json = tmp_path / "serial.json"
+        self.plan(
+            capsys, "tiny", "--store", str(tmp_path / "serial-store"),
+            "--format", "json", "--out", str(serial_json),
+        )
+        packs = []
+        shard_points = 0
+        for index in range(2):
+            pack = tmp_path / f"pack-{index}.json"
+            out = self.plan(
+                capsys, "tiny", "--shard", f"{index}/2",
+                "--store", str(tmp_path / f"shard-store-{index}"),
+                "--pack", str(pack),
+            )
+            assert f"wrote pack {pack}" in out
+            shard_points += int(out.split(" of ")[0].split(": ")[1])
+            packs.append(pack)
+        assert shard_points == 5, "two shards cover the whole space"
+
+        code, out, err = run_cli(
+            capsys, "assemble", *map(str, packs),
+            "--store", str(tmp_path / "assembled-store"), "--no-run",
+        )
+        assert code == 0, err
+        assert "merged 2 pack(s)" in out
+
+        warm_json = tmp_path / "warm.json"
+        out = self.plan(
+            capsys, "tiny", "--store", str(tmp_path / "assembled-store"),
+            "--format", "json", "--out", str(warm_json),
+            "--check", str(serial_json),
+        )
+        # Zero re-evaluations on the warm store...
+        assert "(0 fresh, 5 cached)" in out
+        assert f"plan output matches {serial_json}" in out
+        # ...and byte-identical output modulo the wall-time provenance.
+        assert_text_matches_modulo_wall_time(
+            serial_json.read_text(), warm_json.read_text()
+        )
+
+    def test_check_flags_divergent_reference(self, capsys, tmp_path):
+        serial_json = tmp_path / "serial.json"
+        store = str(tmp_path / "store")
+        self.plan(
+            capsys, "tiny", "--store", store,
+            "--format", "json", "--out", str(serial_json),
+        )
+        doctored = serial_json.read_text().replace('"tiny"', '"tinier"')
+        serial_json.write_text(doctored)
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--store", store,
+            "--format", "json", "--check", str(serial_json),
+        )
+        assert code == 1
+        assert "differs" in err
+
+    def test_check_missing_reference(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "plan", "tiny", "--no-store",
+            "--format", "json", "--check", str(tmp_path / "absent.json"),
+        )
+        assert code == 1
+        assert "missing reference file" in err
+
+
+class TestExperimentSurface:
+    def test_plan_experiments_registered_with_planning_tag(self):
+        from repro.experiments.registry import EXPERIMENTS, experiments_by_tag
+
+        assert "plan-frontier" in EXPERIMENTS
+        assert "plan-capacity" in EXPERIMENTS
+        tagged = {e.id for e in experiments_by_tag("planning")}
+        assert {"plan-frontier", "plan-capacity"} <= tagged
+
+    def test_usage_screen_documents_plan(self, capsys):
+        code, out, _ = run_cli(capsys, "--help")
+        assert code == 0
+        assert "plan" in out and "--sla-ms" in out
+
+
+@pytest.fixture(autouse=True)
+def _quiet_env(monkeypatch, tmp_path):
+    """Default-store fallbacks land in the test's tmp dir, never the repo."""
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "default-store"))

@@ -1,0 +1,96 @@
+"""The serving layer's pinned percentile definition, at its edges.
+
+``sorted_percentile`` is the single implementation shared by
+``ServingReport.from_arrays`` (the fast path's reducer) and the event loop
+(via ``percentile``); these tests pin the 1- and 2-element semantics both
+at the function level and through a real ``ServingReport``.
+"""
+
+import random
+
+import pytest
+
+from repro.serve.report import (
+    CompletedRequest,
+    ServingReport,
+    percentile,
+    sorted_percentile,
+)
+from repro.serve.request import Request, Scenario
+
+SCENARIO = Scenario("instant-ngp", scene="lego", width=64, height=64)
+
+
+def completion(request_id, arrival_s, finish_s):
+    """One completed request with an explicit latency window."""
+    return CompletedRequest(
+        request=Request(request_id=request_id, arrival_s=arrival_s, scenario=SCENARIO),
+        worker="flexnerfer#0",
+        start_s=arrival_s,
+        finish_s=finish_s,
+        batch_size=1,
+        energy_j=0.5,
+    )
+
+
+class TestFunctionEdges:
+    def test_single_element_returns_it_for_every_q(self):
+        for q in (0.0, 1.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile([3.25], q) == 3.25
+            assert sorted_percentile([3.25], q) == 3.25
+
+    def test_two_element_interpolation_is_pinned(self):
+        low, high = 0.1, 0.9
+        assert percentile([high, low], 0.0) == low
+        assert percentile([high, low], 100.0) == high
+        assert percentile([high, low], 50.0) == pytest.approx((low + high) / 2)
+        assert percentile([high, low], 95.0) == pytest.approx(
+            0.05 * low + 0.95 * high
+        )
+        assert percentile([high, low], 99.0) == pytest.approx(
+            0.01 * low + 0.99 * high
+        )
+
+    def test_percentile_delegates_to_sorted_percentile(self):
+        rng = random.Random(20260808)
+        for _ in range(50):
+            values = [rng.uniform(0.0, 10.0) for _ in range(rng.randint(1, 20))]
+            q = rng.uniform(0.0, 100.0)
+            assert percentile(values, q) == sorted_percentile(sorted(values), q)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match="must be in"):
+            percentile([1.0], 101.0)
+
+
+class TestReportEdges:
+    def build(self, completions):
+        return ServingReport.from_completions(
+            scheduler="fifo",
+            fleet=("flexnerfer",),
+            workers=(),
+            completed=completions,
+            num_requests=len(completions),
+        )
+
+    def test_one_completion_report(self):
+        report = self.build([completion(0, arrival_s=0.0, finish_s=0.25)])
+        assert report.p50_latency_s == 0.25
+        assert report.p95_latency_s == 0.25
+        assert report.p99_latency_s == 0.25
+        assert report.mean_latency_s == 0.25
+
+    def test_two_completion_report_interpolates(self):
+        report = self.build(
+            [
+                completion(0, arrival_s=0.0, finish_s=0.1),
+                completion(1, arrival_s=0.0, finish_s=0.5),
+            ]
+        )
+        latencies = [0.1, 0.5]
+        assert report.p50_latency_s == percentile(latencies, 50.0)
+        assert report.p95_latency_s == percentile(latencies, 95.0)
+        assert report.p99_latency_s == percentile(latencies, 99.0)
+        assert report.p95_latency_s == pytest.approx(0.05 * 0.1 + 0.95 * 0.5)

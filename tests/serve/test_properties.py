@@ -45,6 +45,8 @@ from repro.serve.request import PoissonStream, Scenario, ScenarioMix
 from repro.serve.scheduler import FIFOScheduler
 from repro.sim.sweep import SweepEngine
 
+from tests._differential import assert_fast_path_matches_event_loop
+
 #: Fixed fuzz seed: the whole suite is one reproducible random stream.
 SEED = 20260808
 
@@ -171,13 +173,10 @@ class TestDifferentialFuzz:
             simulator = FleetSimulator(
                 fleet, scheduler=FIFOScheduler(), engine=engine, control=control
             )
-            fast = simulator.run(requests)
-            slow = simulator._run_event_loop(requests)
             context = f"config #{index}: fleet={fleet} control={control}"
-            assert fast == slow, context
-            assert fast.completed == slow.completed, context
-            assert fast.rejected == slow.rejected, context
-            assert fast.workers == slow.workers, context
+            fast = assert_fast_path_matches_event_loop(
+                simulator, requests, context
+            )
             assert_invariants(fast, requests)
             if index % 10 == 0:
                 # Repeat-run determinism: fresh simulator, fresh admission
