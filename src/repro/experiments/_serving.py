@@ -9,6 +9,7 @@ faster, which is what makes heterogeneous routing interesting.
 
 from __future__ import annotations
 
+from repro.serve.control import DEFAULT_LADDER_STEPS, DegradationLadder
 from repro.serve.request import Scenario, ScenarioMix
 from repro.sparse.formats import Precision
 
@@ -27,6 +28,16 @@ REFERENCE_MIX = ScenarioMix(
         Scenario("tensorf", scene="lego", width=400, height=400),
     ),
     weights=(2.0, 1.0, 1.0),
+)
+
+
+#: Default-step ladder with *modelled* (fixed) qualities rather than
+#: PSNR-measured ones.  The traffic experiments use it so their goldens
+#: depend only on the serving simulation, not on the probe renderer;
+#: `serve-overload-sla` keeps the measured :func:`price_ladder` variant.
+MODELED_LADDER = DegradationLadder(
+    steps=DEFAULT_LADDER_STEPS,
+    qualities=(0.95, 0.88, 0.75, 0.60),
 )
 
 

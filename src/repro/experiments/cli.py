@@ -194,6 +194,15 @@ COMMANDS: tuple[CommandSpec, ...] = (
         ),
     ),
     CommandSpec(
+        "trace",
+        "validate and summarize a serving-log trace (see docs/scenarios.md)",
+        operands=(("path", "trace file: .csv or .jsonl serving log"),),
+        options=(
+            CommandOption("--summarize", "", "print per-scenario / per-tenant breakdown tables"),
+            CommandOption("--to-json", "", "re-emit the validated trace as lossless JSON lines on stdout"),
+        ),
+    ),
+    CommandSpec(
         "docs",
         "regenerate the experiment catalog (docs/experiments.md)",
         options=(
@@ -273,6 +282,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_assemble(rest)
         if command == "plan":
             return _cmd_plan(rest)
+        if command == "trace":
+            return _cmd_trace(rest)
         if command == "docs":
             return _cmd_docs(rest)
         if command == "lint":
@@ -840,6 +851,7 @@ def _plan_table(document: dict[str, Any]) -> str:
     """Fixed-width frontier table of a plan document."""
     header = (
         f"{'fleet':<24} {'n':>2} {'scheduler':<15} {'control':<12} "
+        f"{'traffic':<12} "
         f"{'$/Mreq':>10} {'p99 [ms]':>9} {'mJ/req':>8} {'SLO %':>6}"
     )
     lines = [header]
@@ -847,7 +859,8 @@ def _plan_table(document: dict[str, Any]) -> str:
         fleet = "+".join(row["fleet"])
         lines.append(
             f"{fleet:<24} {len(row['fleet']):>2} {row['scheduler']:<15} "
-            f"{row['control']:<12} {row['cost_per_request'] * 1e6:>10.4f} "
+            f"{row['control']:<12} {row.get('traffic', 'poisson'):<12} "
+            f"{row['cost_per_request'] * 1e6:>10.4f} "
             f"{row['p99_latency_s'] * 1e3:>9.2f} "
             f"{row['energy_per_request_j'] * 1e3:>8.2f} "
             f"{row['slo_attainment'] * 100:>6.1f}"
@@ -870,6 +883,7 @@ def _plan_table(document: dict[str, Any]) -> str:
 _PLAN_CSV_FIELDS = (
     "scheduler",
     "control",
+    "traffic",
     "cost_per_request",
     "p99_latency_s",
     "energy_per_request_j",
@@ -1041,6 +1055,50 @@ def _cmd_plan(args: list[str]) -> int:
             print(f"error: {reference}: plan output differs", file=sys.stderr)
             return 1
         print(f"plan output matches {reference}")
+    return 0
+
+
+def _cmd_trace(args: list[str]) -> int:
+    """Validate a serving-log trace; summarize or re-emit it."""
+    from repro.serve.traffic import TraceFormatError, load_trace, trace_to_jsonl
+
+    summarize = "--summarize" in args
+    to_json = "--to-json" in args
+    args = [a for a in args if a not in ("--summarize", "--to-json")]
+    positionals, _, _ = _split_args(args, ())
+    if len(positionals) != 1:
+        raise CLIError("pass exactly one trace file (.csv or .jsonl)")
+    if summarize and to_json:
+        raise CLIError("--summarize and --to-json are mutually exclusive")
+    try:
+        trace = load_trace(positionals[0])
+    except TraceFormatError as exc:
+        raise CLIError(str(exc)) from None
+    except OSError as exc:
+        raise CLIError(f"{positionals[0]}: {exc.strerror or exc}") from None
+    if to_json:
+        sys.stdout.write(trace_to_jsonl(trace.requests))
+        return 0
+    summary = trace.summary()
+    print(
+        f"trace {summary['path']}: {summary['requests']} requests over "
+        f"{summary['duration_s']:.3f}s ({summary['offered_rps']:.2f} rps, "
+        f"format {summary['format']})"
+    )
+    print(
+        f"  deadlines: {summary['with_deadline']}/{summary['requests']}"
+        f"  pinned: {summary['pinned']}"
+        f"  tenants: {len(summary['tenants'])}"
+        f"  sessions: {summary['sessions']}"
+    )
+    if summarize:
+        print(f"\n  {'scenario':<40} {'count':>7} {'share':>7}")
+        for row in summary["scenarios"]:
+            print(f"  {row['label']:<40} {row['count']:>7} {row['share']:>6.1%}")
+        if summary["tenants"]:
+            print(f"\n  {'tenant':<16} {'count':>7}")
+            for tenant, count in summary["tenants"].items():
+                print(f"  {tenant:<16} {count:>7}")
     return 0
 
 

@@ -35,6 +35,9 @@ from repro.experiments import (  # noqa: F401
     serve_overload_sla,
     serve_autoscale,
     serve_quality_shed,
+    serve_flash_crowd,
+    serve_multi_tenant,
+    serve_interactive,
     plan_frontier,
 )
 from repro.experiments.api import (

@@ -1,0 +1,159 @@
+"""`serve-flash-crowd`: burst absorption per overload-control mechanism.
+
+Flash crowds are the traffic shape memoryless streams cannot express: a
+quiet baseline punctuated by seeded burst epochs during which the arrival
+rate jumps an order of magnitude (a scene going viral).  This study drives
+one device with a :class:`~repro.serve.traffic.FlashCrowdStream` at
+increasing crowd intensities, once per control mode, and asks which
+mechanism absorbs the burst best: uncontrolled queueing lets the backlog
+poison every post-burst request, queue-cap admission sacrifices burst
+requests to protect the baseline, and quality shedding serves the crowd
+from cheaper degradation-ladder rungs (modelled qualities --
+:data:`repro.experiments._serving.MODELED_LADDER` -- so the golden table
+pins the serving simulation alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments._serving import MODELED_LADDER, REFERENCE_MIX
+from repro.experiments.api import Column, Param, experiment
+from repro.serve.control import (
+    ControlConfig,
+    QueueCapAdmission,
+    QueueDepthShedder,
+)
+from repro.serve.fleet import FleetSimulator
+from repro.serve.scheduler import FIFOScheduler
+from repro.serve.traffic import FlashCrowdStream
+from repro.sim.sweep import SweepEngine, get_default_engine
+
+#: Crowd rates swept by default: ~1.6x and ~3.2x the single FlexNeRFer's
+#: ~25 rps capacity on the reference mix, against a 12 rps baseline.
+DEFAULT_BURST_RATES = (40.0, 80.0)
+
+
+@dataclass(frozen=True)
+class FlashCrowdPoint:
+    """One (crowd rate, control mode) cell of the flash-crowd study."""
+
+    burst_rps: float
+    mode: str
+    num_requests: int
+    completed: int
+    rejected: int
+    shed: int
+    slo_attainment: float
+    p95_latency_ms: float
+    mean_quality: float
+    goodput_rps: float
+
+
+@experiment(
+    "serve-flash-crowd",
+    title="Flash-crowd burst absorption per control mechanism",
+    tags=("serving",),
+    params=(
+        Param("device", str, "flexnerfer", help="device registry name to serve on"),
+        Param("base_rps", float, 12.0, help="baseline arrival rate between bursts"),
+        Param(
+            "burst_rates",
+            float,
+            DEFAULT_BURST_RATES,
+            help="crowd arrival rates to sweep (requests/s during a burst)",
+            repeated=True,
+        ),
+        Param("num_bursts", int, 2, help="seeded burst epochs per run"),
+        Param("burst_s", float, 2.5, help="duration of each burst window"),
+        Param("duration_s", float, 20.0, help="stream duration in seconds"),
+        Param("sla_ms", float, 250.0, help="per-request latency SLA"),
+        Param("max_queue", int, 6, help="queue-cap admission bound"),
+        Param(
+            "depth_per_step",
+            int,
+            4,
+            help="queued requests per worker per degradation-ladder rung",
+        ),
+        Param("seed", int, 0, help="request stream seed"),
+    ),
+    columns=(
+        Column("burst", ">6.0f", key="burst_rps"),
+        Column("mode", "<10", key="mode"),
+        Column("reqs", ">6", key="num_requests"),
+        Column("done", ">6", key="completed"),
+        Column("rej", ">5", key="rejected"),
+        Column("shed", ">5", key="shed"),
+        Column("SLO %", ">6.1f", value=lambda p: p.slo_attainment * 100),
+        Column("p95 [ms]", ">9.1f", key="p95_latency_ms"),
+        Column("quality", ">8.3f", key="mean_quality"),
+        Column("goodput", ">8.1f", key="goodput_rps"),
+    ),
+)
+def run(
+    device: str = "flexnerfer",
+    base_rps: float = 12.0,
+    burst_rates: tuple[float, ...] = DEFAULT_BURST_RATES,
+    num_bursts: int = 2,
+    burst_s: float = 2.5,
+    duration_s: float = 20.0,
+    sla_ms: float = 250.0,
+    max_queue: int = 6,
+    depth_per_step: int = 4,
+    seed: int = 0,
+    engine: SweepEngine | None = None,
+) -> list[FlashCrowdPoint]:
+    """Serve each crowd intensity once per control mode and compare."""
+    engine = engine or get_default_engine()
+    modes: tuple[tuple[str, ControlConfig | None], ...] = (
+        ("none", None),
+        ("queue-cap", ControlConfig(admission=QueueCapAdmission(max_queue))),
+        (
+            "shed",
+            ControlConfig(
+                shedder=QueueDepthShedder(MODELED_LADDER, depth_per_step=depth_per_step)
+            ),
+        ),
+        (
+            "cap+shed",
+            ControlConfig(
+                admission=QueueCapAdmission(max_queue),
+                shedder=QueueDepthShedder(MODELED_LADDER, depth_per_step=depth_per_step),
+            ),
+        ),
+    )
+    points: list[FlashCrowdPoint] = []
+    for burst_rps in burst_rates:
+        stream = FlashCrowdStream(
+            base_rps=base_rps,
+            burst_rps=burst_rps,
+            duration_s=duration_s,
+            mix=REFERENCE_MIX,
+            num_bursts=num_bursts,
+            burst_s=burst_s,
+            sla_s=sla_ms / 1e3,
+        )
+        requests = stream.generate(seed=seed)
+        for mode, control in modes:
+            simulator = FleetSimulator(
+                (device,),
+                scheduler=FIFOScheduler(),
+                engine=engine,
+                control=control,
+            )
+            report = simulator.run(requests)
+            points.append(
+                FlashCrowdPoint(
+                    burst_rps=burst_rps,
+                    mode=mode,
+                    num_requests=report.num_requests,
+                    completed=report.completed_requests,
+                    rejected=report.rejected_requests,
+                    shed=report.shed_requests,
+                    slo_attainment=report.slo_attainment,
+                    p95_latency_ms=report.p95_latency_s * 1e3,
+                    mean_quality=report.mean_quality,
+                    goodput_rps=report.goodput_rps,
+                )
+            )
+    return points

@@ -159,6 +159,7 @@ class EvaluatedPoint:
             self.point.label,
             self.point.scheduler,
             self.point.control,
+            self.point.traffic,
         )
 
     def to_payload(self) -> dict:
@@ -168,6 +169,7 @@ class EvaluatedPoint:
                 "fleet": list(self.point.fleet),
                 "scheduler": self.point.scheduler,
                 "control": self.point.control,
+                "traffic": self.point.traffic,
             },
             "metrics": {field: getattr(self, field) for field in METRIC_FIELDS},
         }
@@ -184,6 +186,9 @@ class EvaluatedPoint:
                 fleet=tuple(str(d) for d in payload["point"]["fleet"]),
                 scheduler=str(payload["point"]["scheduler"]),
                 control=str(payload["point"]["control"]),
+                # Pre-traffic-axis payloads carry no shape; they were all
+                # evaluated against the Poisson baseline.
+                traffic=str(payload["point"].get("traffic", "poisson")),
             )
             metrics = payload["metrics"]
             kwargs = {field: metrics[field] for field in METRIC_FIELDS}
@@ -205,9 +210,10 @@ def evaluate_point(
 ) -> EvaluatedPoint:
     """Simulate ``point`` against ``requests`` and score it.
 
-    ``requests`` is the space's shared traffic
-    (``space.traffic.requests()``), generated once by the caller so every
-    candidate replays the identical arrival process.
+    ``requests`` is the space's traffic under the point's shape
+    (``space.traffic.requests(point.traffic)``), generated once per shape
+    by the caller so candidates sharing a shape replay the identical
+    arrival process.
     """
     engine = engine or get_default_engine()
     simulator = FleetSimulator(
@@ -294,7 +300,12 @@ def evaluate_space(
         if shard is None
         or shard.contains(PlanPointKey(digest, point.digest))
     ]
-    requests = space.traffic.requests() if owned else ()
+    # One realized arrival process per traffic shape in use; candidates
+    # sharing a shape replay the identical requests.
+    requests_by_shape = {
+        shape: space.traffic.requests(shape)
+        for shape in sorted({point.traffic for point in owned})
+    }
     fresh = 0
     cached = 0
 
@@ -307,7 +318,9 @@ def evaluate_space(
                     return EvaluatedPoint.from_payload(payload), True
                 except ValueError:
                     pass  # corrupt entry: fall through and re-evaluate
-        evaluated = evaluate_point(space, point, requests, engine=engine)
+        evaluated = evaluate_point(
+            space, point, requests_by_shape[point.traffic], engine=engine
+        )
         if store is not None:
             store.put_plan(key, evaluated.to_payload())
         return evaluated, False

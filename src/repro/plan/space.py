@@ -74,6 +74,14 @@ REFERENCE_MIX = ScenarioMix(
 #: Scenario mixes a JSON plan spec may reference by name.
 PLAN_MIXES = {"tiny": TINY_MIX, "reference": REFERENCE_MIX}
 
+#: Traffic shapes a plan space may search over.  Every shape realizes the
+#: same :class:`TrafficSpec` demand envelope (rate, duration, mix, SLA)
+#: through a different arrival process from the scenario library:
+#: ``"poisson"`` is the memoryless baseline, ``"flash-crowd"`` spends the
+#: same mean rate with seeded 3x burst epochs, and ``"marked-burst"``
+#: is the self-exciting process whose long-run mean matches ``rate_rps``.
+TRAFFIC_SHAPES = ("poisson", "flash-crowd", "marked-burst")
+
 
 @dataclass(frozen=True)
 class TrafficSpec:
@@ -101,24 +109,66 @@ class TrafficSpec:
         """The SLA budget in seconds."""
         return self.sla_ms / 1000.0
 
-    def requests(self) -> tuple[Request, ...]:
-        """The deterministic request stream every candidate replays."""
-        stream = PoissonStream(
-            rate_rps=self.rate_rps,
-            duration_s=self.duration_s,
-            mix=self.mix,
-            sla_s=self.sla_s,
-        )
+    def requests(self, shape: str = "poisson") -> tuple[Request, ...]:
+        """The deterministic request stream candidates under ``shape`` replay.
+
+        Every shape in :data:`TRAFFIC_SHAPES` spends the same demand
+        envelope -- ``rate_rps`` mean arrivals over ``duration_s`` with
+        ``sla_ms`` deadlines on ``mix`` -- through a different arrival
+        process, with pinned shape constants so the realization is a pure
+        function of (spec, shape, seed).
+        """
+        from repro.serve.traffic import FlashCrowdStream, MarkedBurstStream
+
+        if shape == "poisson":
+            stream: "PoissonStream | FlashCrowdStream | MarkedBurstStream" = (
+                PoissonStream(
+                    rate_rps=self.rate_rps,
+                    duration_s=self.duration_s,
+                    mix=self.mix,
+                    sla_s=self.sla_s,
+                )
+            )
+        elif shape == "flash-crowd":
+            stream = FlashCrowdStream(
+                base_rps=self.rate_rps,
+                burst_rps=3.0 * self.rate_rps,
+                duration_s=self.duration_s,
+                mix=self.mix,
+                num_bursts=1,
+                burst_s=self.duration_s / 5.0,
+                sla_s=self.sla_s,
+            )
+        elif shape == "marked-burst":
+            # Immigrants at 60% of the target rate with a 0.4 branching
+            # ratio keep the long-run mean at rate_rps: mu / (1 - eta).
+            stream = MarkedBurstStream(
+                immigrant_rps=0.6 * self.rate_rps,
+                duration_s=self.duration_s,
+                mix=self.mix,
+                offspring_mean=0.4,
+                decay_s=self.duration_s / 10.0,
+                sla_s=self.sla_s,
+            )
+        else:
+            raise ValueError(
+                f"unknown traffic shape '{shape}'; available: {list(TRAFFIC_SHAPES)}"
+            )
         return stream.generate(seed=self.seed)
 
 
 @dataclass(frozen=True)
 class PlanPoint:
-    """One candidate fleet configuration of a plan space."""
+    """One candidate fleet configuration of a plan space.
+
+    ``traffic`` names the :data:`TRAFFIC_SHAPES` arrival process this
+    candidate is judged against (single-shape spaces leave the default).
+    """
 
     fleet: tuple[str, ...]
     scheduler: str
     control: str
+    traffic: str = "poisson"
 
     @property
     def label(self) -> str:
@@ -128,7 +178,9 @@ class PlanPoint:
     @property
     def digest(self) -> str:
         """SHA-1 content address of the candidate itself."""
-        return canonical_digest((self.fleet, self.scheduler, self.control))
+        return canonical_digest(
+            (self.fleet, self.scheduler, self.control, self.traffic)
+        )
 
 
 @dataclass(frozen=True)
@@ -147,6 +199,7 @@ class PlanSpace:
     traffic: TrafficSpec
     schedulers: tuple[str, ...] = ("fifo",)
     controls: tuple[str, ...] = ("none",)
+    traffic_shapes: tuple[str, ...] = ("poisson",)
 
     def __post_init__(self) -> None:
         """Validate devices, worker counts and policy names."""
@@ -180,6 +233,18 @@ class PlanSpace:
                     f"unknown control variant '{control}'; "
                     f"available: {list(CONTROL_NAMES)}"
                 )
+        if not self.traffic_shapes:
+            raise ValueError("a plan space needs at least one traffic shape")
+        for shape in self.traffic_shapes:
+            if shape not in TRAFFIC_SHAPES:
+                raise ValueError(
+                    f"unknown traffic shape '{shape}'; "
+                    f"available: {list(TRAFFIC_SHAPES)}"
+                )
+        if len(set(self.traffic_shapes)) != len(self.traffic_shapes):
+            raise ValueError(
+                f"duplicate traffic shapes in plan space: {self.traffic_shapes}"
+            )
 
     def enumerate_points(self) -> tuple[PlanPoint, ...]:
         """Every candidate, in a deterministic declared-order enumeration.
@@ -197,13 +262,15 @@ class PlanSpace:
             ):
                 for scheduler in self.schedulers:
                     for control in self.controls:
-                        points.append(
-                            PlanPoint(
-                                fleet=fleet,
-                                scheduler=scheduler,
-                                control=control,
+                        for shape in self.traffic_shapes:
+                            points.append(
+                                PlanPoint(
+                                    fleet=fleet,
+                                    scheduler=scheduler,
+                                    control=control,
+                                    traffic=shape,
+                                )
                             )
-                        )
         return tuple(points)
 
     def canonical(self) -> dict:
@@ -214,6 +281,7 @@ class PlanSpace:
             "worker_counts": list(self.worker_counts),
             "schedulers": list(self.schedulers),
             "controls": list(self.controls),
+            "traffic_shapes": list(self.traffic_shapes),
             "traffic": {
                 "rate_rps": self.traffic.rate_rps,
                 "duration_s": self.traffic.duration_s,
@@ -243,6 +311,7 @@ def space_digest(space: PlanSpace, cost_model: dict | None = None) -> str:
             space.worker_counts,
             space.schedulers,
             space.controls,
+            space.traffic_shapes,
             space.traffic,
             tuple(sorted(constants.items())),
             environment_digest(),
@@ -288,16 +357,20 @@ def space_from_dict(data: dict, name: str = "custom") -> PlanSpace:
 
         {"devices": [...], "worker_counts": [...],
          "schedulers": [...], "controls": [...],
+         "traffic_shapes": ["poisson", "flash-crowd", "marked-burst"],
          "traffic": {"rate_rps": ..., "duration_s": ..., "sla_ms": ...,
                      "seed": ..., "mix": "tiny" | "reference"}}
 
-    ``schedulers`` / ``controls`` / ``seed`` / ``mix`` are optional;
-    anything malformed raises ``ValueError`` with a one-line reason.
+    ``schedulers`` / ``controls`` / ``traffic_shapes`` / ``seed`` / ``mix``
+    are optional (``traffic_shapes`` defaults to the Poisson baseline
+    alone); anything malformed raises ``ValueError`` with a one-line
+    reason.
     """
     if not isinstance(data, dict):
         raise ValueError(f"plan spec must be a JSON object, got {type(data).__name__}")
     unknown = set(data) - {
-        "name", "devices", "worker_counts", "schedulers", "controls", "traffic"
+        "name", "devices", "worker_counts", "schedulers", "controls",
+        "traffic", "traffic_shapes",
     }
     if unknown:
         raise ValueError(f"unknown plan spec keys: {sorted(unknown)}")
@@ -327,6 +400,9 @@ def space_from_dict(data: dict, name: str = "custom") -> PlanSpace:
             traffic=traffic,
             schedulers=tuple(str(s) for s in data.get("schedulers", ("fifo",))),
             controls=tuple(str(c) for c in data.get("controls", ("none",))),
+            traffic_shapes=tuple(
+                str(t) for t in data.get("traffic_shapes", ("poisson",))
+            ),
         )
     except KeyError as exc:
         raise ValueError(f"plan spec is missing {exc.args[0]!r}") from exc

@@ -49,6 +49,8 @@ from repro.serve.report import (
     CompletedRequest,
     RejectedRequest,
     ServingReport,
+    SessionStats,
+    TenantStats,
     WorkerStats,
     percentile,
     sorted_percentile,
@@ -71,6 +73,18 @@ from repro.serve.scheduler import (
     SparsityAwareScheduler,
     Worker,
 )
+from repro.serve.traffic import (
+    FlashCrowdStream,
+    ImportedTrace,
+    ImportedTraceStream,
+    MarkedBurstStream,
+    MultiTenantStream,
+    SessionStream,
+    TenantSpec,
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -84,10 +98,15 @@ __all__ = [
     "DiurnalStream",
     "Dispatch",
     "FIFOScheduler",
+    "FlashCrowdStream",
     "FleetSimulator",
     "FleetSnapshot",
+    "ImportedTrace",
+    "ImportedTraceStream",
     "LadderPricing",
     "LatencyTargetAutoscaler",
+    "MarkedBurstStream",
+    "MultiTenantStream",
     "PoissonStream",
     "PricedStep",
     "QueueCapAdmission",
@@ -101,12 +120,19 @@ __all__ = [
     "Scheduler",
     "ServiceEstimate",
     "ServingReport",
+    "SessionStats",
+    "SessionStream",
     "SheddingPolicy",
     "SparsityAwareScheduler",
+    "TenantSpec",
+    "TenantStats",
     "TokenBucketAdmission",
+    "TraceFormatError",
     "TraceStream",
     "Worker",
     "WorkerStats",
+    "dump_trace",
+    "load_trace",
     "percentile",
     "price_ladder",
     "quality_from_psnr",

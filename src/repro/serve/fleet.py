@@ -138,7 +138,7 @@ class _ControlState:
                 )
             )
             return False
-        if self.shedder is not None:
+        if self.shedder is not None and request.degradable:
             level = self.shedder.level(queue_depth, self.active_count)
             if level:
                 self.shed_levels[id(request)] = level
@@ -457,10 +457,14 @@ class FleetSimulator:
         quality = 1.0
         scenario = dispatch.requests[0].scenario
         if state is not None and state.shedder is not None:
-            level = max(
-                state.shed_levels.get(id(request), 0)
-                for request in dispatch.requests
-            )
+            # A batch renders once, so degrading it would degrade every
+            # member; a single pinned (degradable=False) request therefore
+            # pins its whole batch at full quality.
+            if all(request.degradable for request in dispatch.requests):
+                level = max(
+                    state.shed_levels.get(id(request), 0)
+                    for request in dispatch.requests
+                )
             if level:
                 quality = state.shedder.ladder.quality_of(level)
                 scenario = state.degraded(scenario, level)
@@ -731,7 +735,11 @@ class FleetSimulator:
                     )
                 )
                 continue
-            level = shedder.level(depth, k) if shedder is not None else 0
+            level = (
+                shedder.level(depth, k)
+                if shedder is not None and request.degradable
+                else 0
+            )
             scenario = request.scenario
             key = (id(scenario), level)
             row = rows_by_key.get(key)

@@ -116,6 +116,50 @@ class WorkerStats:
     energy_j: float
 
 
+#: Group label for requests that carry no tenant tag.
+UNTAGGED_TENANT = "-"
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Per-tenant aggregate over one serving run (multi-tenant streams).
+
+    ``slo_attainment`` is the tenant's end-user SLO: deadline-met
+    completions over *offered* requests (rejections count against it),
+    matching :attr:`ServingReport.slo_attainment` fleet-wide.  A declared
+    tenant that offered nothing trivially attains 1.0.
+    """
+
+    tenant: str
+    offered: int
+    completed: int
+    rejected: int
+    met_deadline: int
+    slo_attainment: float
+    mean_latency_s: float
+    p95_latency_s: float
+    mean_quality: float
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Per-session aggregate over one serving run (interactive streams).
+
+    ``missed`` counts offered frames that did not finish inside their
+    deadline -- rejected frames included -- so ``fully_met`` means the
+    session's user saw every single frame on time.
+    """
+
+    session: int
+    frames: int
+    completed: int
+    missed: int
+    slo_attainment: float
+    mean_latency_s: float
+    p95_latency_s: float
+    fully_met: bool
+
+
 @dataclass(frozen=True)
 class ServingReport:
     """Fleet-level summary of one serving simulation.
@@ -341,6 +385,106 @@ class ServingReport:
         if not self.workers:
             return 0.0
         return sum(w.utilization for w in self.workers) / len(self.workers)
+
+    def by_tenant(
+        self, declared: Sequence[str] | None = None
+    ) -> tuple[TenantStats, ...]:
+        """Per-tenant attainment breakdown of the request logs.
+
+        Requests without a tenant tag group under :data:`UNTAGGED_TENANT`.
+        ``declared`` fixes the leading row order and forces a row for
+        every named tenant even when it offered no requests (attainment
+        trivially 1.0); tenants seen in the logs but not declared follow
+        in sorted-name order.  Pure function of the ``completed`` /
+        ``rejected`` logs, so both simulator paths agree exactly.
+        """
+        completed_by: dict[str, list[CompletedRequest]] = {}
+        rejected_by: dict[str, int] = {}
+        for record in self.completed:
+            name = record.request.tenant or UNTAGGED_TENANT
+            completed_by.setdefault(name, []).append(record)
+        for rejection in self.rejected:
+            name = rejection.request.tenant or UNTAGGED_TENANT
+            rejected_by[name] = rejected_by.get(name, 0) + 1
+        names = list(declared) if declared is not None else []
+        extras = sorted({*completed_by, *rejected_by} - set(names))
+        stats = []
+        for name in [*names, *extras]:
+            completions = completed_by.get(name, [])
+            rejections = rejected_by.get(name, 0)
+            offered = len(completions) + rejections
+            met = sum(1 for c in completions if c.met_deadline)
+            latencies = [c.latency_s for c in completions]
+            stats.append(
+                TenantStats(
+                    tenant=name,
+                    offered=offered,
+                    completed=len(completions),
+                    rejected=rejections,
+                    met_deadline=met,
+                    slo_attainment=met / offered if offered else 1.0,
+                    mean_latency_s=(
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                    p95_latency_s=(
+                        sorted_percentile(sorted(latencies), 95.0)
+                        if latencies
+                        else 0.0
+                    ),
+                    mean_quality=(
+                        sum(c.quality for c in completions) / len(completions)
+                        if completions
+                        else 1.0
+                    ),
+                )
+            )
+        return tuple(stats)
+
+    def by_session(self) -> tuple[SessionStats, ...]:
+        """Per-session frame attainment, for interactive session streams.
+
+        Only requests stamped with a ``session`` id participate; sessions
+        are reported in ascending id order.  Pure function of the request
+        logs, so both simulator paths agree exactly.
+        """
+        completed_by: dict[int, list[CompletedRequest]] = {}
+        offered_by: dict[int, int] = {}
+        for record in self.completed:
+            session = record.request.session
+            if session is None:
+                continue
+            completed_by.setdefault(session, []).append(record)
+            offered_by[session] = offered_by.get(session, 0) + 1
+        for rejection in self.rejected:
+            session = rejection.request.session
+            if session is None:
+                continue
+            offered_by[session] = offered_by.get(session, 0) + 1
+        stats = []
+        for session in sorted(offered_by):
+            completions = completed_by.get(session, [])
+            frames = offered_by[session]
+            met = sum(1 for c in completions if c.met_deadline)
+            latencies = [c.latency_s for c in completions]
+            stats.append(
+                SessionStats(
+                    session=session,
+                    frames=frames,
+                    completed=len(completions),
+                    missed=frames - met,
+                    slo_attainment=met / frames if frames else 1.0,
+                    mean_latency_s=(
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                    p95_latency_s=(
+                        sorted_percentile(sorted(latencies), 95.0)
+                        if latencies
+                        else 0.0
+                    ),
+                    fully_met=frames - met == 0,
+                )
+            )
+        return tuple(stats)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe summary (completed-request log elided)."""

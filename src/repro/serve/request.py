@@ -13,7 +13,9 @@ combination.  This module provides the demand side of the serving layer:
   processes: :class:`PoissonStream` (open-loop memoryless traffic),
   :class:`DiurnalStream` (sinusoidally modulated Poisson, i.e. a smooth
   burst / trough pattern) and :class:`TraceStream` (replay of recorded
-  arrival times).
+  arrival times).  The scenario library in :mod:`repro.serve.traffic`
+  adds flash crowds, self-exciting bursts, multi-tenant merges, interactive
+  sessions and imported serving-log traces on the same contract.
 
 Streams are pure generators: ``stream.generate(seed)`` returns an immutable
 tuple of :class:`Request` objects, so the same seed always produces the same
@@ -105,13 +107,25 @@ class Request:
     """One arrival of the serving simulation.
 
     ``deadline_s`` is the absolute SLA deadline (``None`` -> the fleet
-    simulator's default SLA applies, or no deadline at all).
+    simulator's default SLA applies, or no deadline at all).  The optional
+    provenance fields carry workload structure the scenario library
+    (:mod:`repro.serve.traffic`) generates and :class:`ServingReport`
+    aggregates: ``tenant`` names the issuing tenant of a multi-tenant
+    merge, ``session`` groups the frames of one interactive session, and
+    ``pose`` records the camera pose (azimuth deg, elevation deg, radius)
+    a session frame asked for.  ``degradable`` gates quality shedding: a
+    pinned (``degradable=False``) request is always served at full quality
+    even when a :class:`~repro.serve.control.DegradationLadder` is active.
     """
 
     request_id: int
     arrival_s: float
     scenario: Scenario
     deadline_s: float | None = None
+    tenant: str | None = None
+    session: int | None = None
+    degradable: bool = True
+    pose: tuple[float, float, float] | None = None
 
 
 class RequestStream(abc.ABC):
@@ -137,21 +151,33 @@ class RequestStream(abc.ABC):
         """Choose the scenario of the ``index``-th request (mix sample by default)."""
         return self.mix.sample(rng)
 
+    def build_request(
+        self, index: int, arrival_s: float, rng: random.Random
+    ) -> Request:
+        """Materialize the ``index``-th request at ``arrival_s``.
+
+        The default stamps the mix-sampled scenario and the stream-wide SLA
+        deadline; subclasses override this (or :meth:`generate` outright)
+        to attach tenants, sessions, poses or per-request deadlines.  The
+        contract either way -- sequential ids, non-decreasing arrivals,
+        seeded determinism -- is certified for every subclass by
+        ``tests/serve/stream_conformance.py``.
+        """
+        deadline = arrival_s + self.sla_s if self.sla_s is not None else None
+        return Request(
+            request_id=index,
+            arrival_s=arrival_s,
+            scenario=self.pick(index, rng),
+            deadline_s=deadline,
+        )
+
     def generate(self, seed: int = 0) -> tuple[Request, ...]:
         """Materialize the stream: one immutable request list per seed."""
         rng = random.Random(seed)
-        requests = []
-        for i, arrival in enumerate(self.arrivals(rng)):
-            deadline = arrival + self.sla_s if self.sla_s is not None else None
-            requests.append(
-                Request(
-                    request_id=i,
-                    arrival_s=arrival,
-                    scenario=self.pick(i, rng),
-                    deadline_s=deadline,
-                )
-            )
-        return tuple(requests)
+        return tuple(
+            self.build_request(i, arrival, rng)
+            for i, arrival in enumerate(self.arrivals(rng))
+        )
 
 
 class PoissonStream(RequestStream):

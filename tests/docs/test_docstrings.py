@@ -33,6 +33,10 @@ ENFORCED_MODULES = (
     "repro.serve.fleet",
     "repro.serve.control",
     "repro.serve.report",
+    "repro.serve.traffic",
+    "repro.serve.traffic.importer",
+    "repro.serve.traffic.session",
+    "repro.serve.traffic.streams",
     "repro.analysis",
     "repro.analysis.base",
     "repro.analysis.baseline",

@@ -137,7 +137,31 @@ class TestOutputs:
         header = [l for l in lines if l.startswith("fleet,scheduler,control")]
         assert len(header) == 1
         assert "cost_per_request" in header[0]
+        assert "traffic" in header[0]
         assert len(lines) > lines.index(header[0]) + 1, "no data rows"
+
+    def test_multi_shape_spec_evaluates_every_shape(self, capsys, tmp_path):
+        path = write_spec(
+            tmp_path,
+            devices=["flexnerfer"],
+            traffic_shapes=["poisson", "flash-crowd", "marked-burst"],
+        )
+        out_path = tmp_path / "shaped-plan.json"
+        code, _, _ = run_cli(
+            capsys, "plan", str(path), "--no-store", "--format", "json",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["enumerated"] == 3 and document["evaluated"] == 3
+        assert document["space"]["traffic_shapes"] == [
+            "poisson",
+            "flash-crowd",
+            "marked-burst",
+        ]
+        shapes = {row["traffic"] for row in document["frontier"]}
+        assert shapes <= {"poisson", "flash-crowd", "marked-burst"}
+        assert document["frontier"], "multi-shape run must emit a frontier"
 
     def test_constraint_solution_rendered(self, capsys):
         code, out, _ = run_cli(

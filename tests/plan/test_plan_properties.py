@@ -31,6 +31,7 @@ from repro.plan.space import (
     CONTROL_NAMES,
     SCHEDULER_NAMES,
     TINY_MIX,
+    TRAFFIC_SHAPES,
     PlanSpace,
     TrafficSpec,
     plan_point_key,
@@ -64,6 +65,7 @@ def random_space(rng: random.Random, name: str = "fuzz") -> PlanSpace:
     worker_counts = tuple(sorted(rng.sample((1, 2, 3), rng.randint(1, 2))))
     schedulers = tuple(rng.sample(SCHEDULER_NAMES, rng.randint(1, 2)))
     controls = tuple(rng.sample(CONTROL_NAMES, rng.randint(1, 2)))
+    traffic_shapes = tuple(rng.sample(TRAFFIC_SHAPES, rng.randint(1, 2)))
     traffic = TrafficSpec(
         mix=TINY_MIX,
         rate_rps=rng.choice((20.0, 40.0, 80.0)),
@@ -78,6 +80,7 @@ def random_space(rng: random.Random, name: str = "fuzz") -> PlanSpace:
         traffic=traffic,
         schedulers=schedulers,
         controls=controls,
+        traffic_shapes=traffic_shapes,
     )
 
 
@@ -90,6 +93,7 @@ def brute_force_key(point):
         point.point.label,
         point.point.scheduler,
         point.point.control,
+        point.point.traffic,
     )
 
 

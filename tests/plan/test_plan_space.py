@@ -10,6 +10,7 @@ from repro.plan.space import (
     PLAN_SPECS,
     SCHEDULER_NAMES,
     TINY_MIX,
+    TRAFFIC_SHAPES,
     PlanPoint,
     PlanSpace,
     TrafficSpec,
@@ -213,3 +214,68 @@ class TestTraffic:
         )
         assert point.label == "flexnerfer+neurex"
         assert len(point.digest) == 40
+
+
+class TestTrafficShapes:
+    def multi_shape_space(self, shapes=TRAFFIC_SHAPES):
+        return PlanSpace(
+            name="shaped",
+            devices=("flexnerfer",),
+            worker_counts=(1,),
+            traffic=TINY_TRAFFIC,
+            traffic_shapes=shapes,
+        )
+
+    def test_shapes_are_an_innermost_enumeration_axis(self):
+        points = self.multi_shape_space().enumerate_points()
+        assert [p.traffic for p in points] == list(TRAFFIC_SHAPES)
+        assert len({p.digest for p in points}) == len(points)
+
+    def test_default_space_stays_poisson_only(self):
+        assert PLAN_SPECS["tiny"].traffic_shapes == ("poisson",)
+        assert all(
+            p.traffic == "poisson" for p in PLAN_SPECS["tiny"].enumerate_points()
+        )
+
+    def test_shape_axis_is_part_of_the_space_digest(self):
+        poisson_only = self.multi_shape_space(shapes=("poisson",))
+        assert space_digest(self.multi_shape_space()) != space_digest(poisson_only)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="at least one traffic shape"):
+            self.multi_shape_space(shapes=())
+        with pytest.raises(ValueError, match="unknown traffic shape 'square'"):
+            self.multi_shape_space(shapes=("square",))
+        with pytest.raises(ValueError, match="duplicate traffic shapes"):
+            self.multi_shape_space(shapes=("poisson", "poisson"))
+
+    def test_each_shape_realizes_a_distinct_deterministic_stream(self):
+        realizations = {}
+        for shape in TRAFFIC_SHAPES:
+            requests = TINY_TRAFFIC.requests(shape)
+            assert requests, shape
+            assert requests == TINY_TRAFFIC.requests(shape), shape
+            assert all(
+                r.deadline_s == pytest.approx(r.arrival_s + TINY_TRAFFIC.sla_s)
+                for r in requests
+            ), shape
+            realizations[shape] = requests
+        assert len({tuple(r) for r in realizations.values()}) == len(TRAFFIC_SHAPES)
+
+    def test_unknown_shape_rejected_at_realization(self):
+        with pytest.raises(ValueError, match="unknown traffic shape 'square'"):
+            TINY_TRAFFIC.requests("square")
+
+    def test_spec_file_round_trips_shapes(self, tmp_path):
+        spec = {
+            "devices": ["flexnerfer"],
+            "worker_counts": [1],
+            "traffic_shapes": ["poisson", "flash-crowd"],
+            "traffic": {"rate_rps": 20.0, "duration_s": 1.0, "sla_ms": 100.0},
+        }
+        path = tmp_path / "shaped.json"
+        path.write_text(json.dumps(spec))
+        space = load_space(str(path))
+        assert space.traffic_shapes == ("poisson", "flash-crowd")
+        assert space.canonical()["traffic_shapes"] == ["poisson", "flash-crowd"]
+        assert len(space.enumerate_points()) == 2

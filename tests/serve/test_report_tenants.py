@@ -1,0 +1,182 @@
+"""Edge cases of the per-tenant / per-session report aggregation.
+
+:meth:`~repro.serve.report.ServingReport.by_tenant` and
+:meth:`~repro.serve.report.ServingReport.by_session` are pure functions of
+the completion and rejection logs, so their edges are pinned directly
+against simulated runs on **both** simulator paths (the FIFO fast path
+``run`` and the reference ``_run_event_loop``):
+
+* a declared tenant that offered zero requests still gets a row, with
+  trivial 1.0 attainment and neutral latency/quality stats;
+* untagged requests group under :data:`~repro.serve.report.UNTAGGED_TENANT`
+  and undeclared-but-seen tenants follow the declared rows in sorted order;
+* a single-session stream reports exactly one session row whose counters
+  reconcile with the fleet-wide report;
+* a session whose every frame misses its deadline reports zero attainment
+  and ``fully_met=False``, including frames lost to admission rejection;
+* conservation: per-tenant ``offered`` partitions ``num_requests``.
+"""
+
+import pytest
+
+from repro.serve.control import ControlConfig, QueueCapAdmission
+from repro.serve.fleet import FleetSimulator
+from repro.serve.report import UNTAGGED_TENANT
+from repro.serve.request import Request, Scenario, ScenarioMix, TraceStream
+from repro.serve.scheduler import FIFOScheduler
+from repro.serve.traffic import SessionStream, TenantSpec, MultiTenantStream
+from repro.sim.sweep import SweepEngine
+
+TINY = Scenario("instant-ngp", scene="lego", width=96, height=96)
+MIX = ScenarioMix((TINY,))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One shared engine: each unique (device, scenario) simulates once."""
+    return SweepEngine()
+
+
+def both_paths(simulator, requests):
+    """Reports from the fast path and the event loop (asserted equal)."""
+    fast = simulator.run(requests)
+    slow = simulator._run_event_loop(requests)
+    assert fast == slow
+    return (fast, slow)
+
+
+class TestByTenant:
+    def test_declared_zero_request_tenant_gets_trivial_row(self, engine):
+        """A declared tenant with no traffic: forced row, 1.0 attainment."""
+        stream = MultiTenantStream(
+            (TenantSpec("active", 20.0, MIX, sla_s=0.5),), duration_s=3.0
+        )
+        requests = stream.generate(seed=7)
+        simulator = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler(), engine=engine)
+        for report in both_paths(simulator, requests):
+            rows = report.by_tenant(declared=("active", "ghost"))
+            assert [r.tenant for r in rows] == ["active", "ghost"]
+            ghost = rows[1]
+            assert ghost.offered == ghost.completed == ghost.rejected == 0
+            assert ghost.met_deadline == 0
+            assert ghost.slo_attainment == 1.0
+            assert ghost.mean_latency_s == 0.0
+            assert ghost.p95_latency_s == 0.0
+            assert ghost.mean_quality == 1.0
+
+    def test_untagged_and_undeclared_tenants_order(self, engine):
+        """Untagged requests group under '-'; extras follow sorted."""
+        requests = tuple(
+            Request(request_id=i, arrival_s=0.1 * i, scenario=TINY, tenant=tag)
+            for i, tag in enumerate((None, "zeta", "alpha", None, "zeta"))
+        )
+        simulator = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler(), engine=engine)
+        for report in both_paths(simulator, requests):
+            rows = report.by_tenant(declared=("zeta",))
+            assert [r.tenant for r in rows] == ["zeta", UNTAGGED_TENANT, "alpha"]
+            assert [r.offered for r in rows] == [2, 2, 1]
+
+    def test_offered_partitions_num_requests(self, engine):
+        """Per-tenant offered counts sum to the fleet-wide request count."""
+        stream = MultiTenantStream(
+            (
+                TenantSpec("a", 150.0, MIX, sla_s=0.2),
+                TenantSpec("b", 100.0, MIX, sla_s=0.4),
+            ),
+            duration_s=2.0,
+        )
+        requests = stream.generate(seed=3)
+        control = ControlConfig(admission=QueueCapAdmission(max_queue=2))
+        simulator = FleetSimulator(
+            ("flexnerfer",),
+            scheduler=FIFOScheduler(),
+            engine=engine,
+            control=control,
+        )
+        for report in both_paths(simulator, requests):
+            rows = report.by_tenant(declared=("a", "b"))
+            assert sum(r.offered for r in rows) == report.num_requests
+            assert sum(r.completed for r in rows) == report.completed_requests
+            assert sum(r.rejected for r in rows) == report.rejected_requests
+            assert report.rejected_requests > 0  # the cap actually bit
+
+    def test_no_tenants_yields_single_untagged_row(self, engine):
+        """A tenant-free stream aggregates to one untagged row."""
+        requests = TraceStream((0.0, 0.1, 0.2), mix=MIX).generate(seed=0)
+        simulator = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler(), engine=engine)
+        for report in both_paths(simulator, requests):
+            rows = report.by_tenant()
+            assert [r.tenant for r in rows] == [UNTAGGED_TENANT]
+            assert rows[0].offered == 3
+
+
+class TestBySession:
+    def test_single_session_stream_reports_one_row(self, engine):
+        """One session: one row, counters reconcile with the fleet report."""
+        stream = SessionStream(
+            MIX, num_sessions=1, frames_per_session=12, fps=10.0, start_spread_s=0.0
+        )
+        requests = stream.generate(seed=11)
+        simulator = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler(), engine=engine)
+        for report in both_paths(simulator, requests):
+            rows = report.by_session()
+            assert len(rows) == 1
+            (row,) = rows
+            assert row.session == 0
+            assert row.frames == 12
+            assert row.completed == report.completed_requests
+            assert row.missed == row.frames - report.met_deadline_requests
+            assert row.fully_met == (row.missed == 0)
+
+    def test_all_deadlines_missed_session(self, engine):
+        """Impossible deadlines: zero attainment, fully_met=False."""
+        requests = tuple(
+            Request(
+                request_id=i,
+                arrival_s=0.01 * i,
+                scenario=TINY,
+                deadline_s=0.01 * i,  # due the instant it arrives
+                session=0,
+            )
+            for i in range(8)
+        )
+        simulator = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler(), engine=engine)
+        for report in both_paths(simulator, requests):
+            (row,) = report.by_session()
+            assert row.completed == 8  # everything renders...
+            assert row.missed == 8  # ...and everything is late
+            assert row.slo_attainment == 0.0
+            assert not row.fully_met
+
+    def test_rejected_frames_count_as_missed(self, engine):
+        """Frames lost at admission are offered-and-missed for the session."""
+        stream = SessionStream(
+            MIX,
+            num_sessions=3,
+            frames_per_session=20,
+            fps=400.0,
+            start_spread_s=0.02,
+        )
+        requests = stream.generate(seed=5)
+        control = ControlConfig(admission=QueueCapAdmission(max_queue=1))
+        simulator = FleetSimulator(
+            ("flexnerfer",),
+            scheduler=FIFOScheduler(),
+            engine=engine,
+            control=control,
+        )
+        for report in both_paths(simulator, requests):
+            assert report.rejected_requests > 0
+            rows = report.by_session()
+            assert [row.session for row in rows] == [0, 1, 2]
+            assert sum(row.frames for row in rows) == 60
+            assert sum(row.completed for row in rows) == report.completed_requests
+            for row in rows:
+                assert row.missed >= row.frames - row.completed
+
+    def test_sessionless_stream_reports_nothing(self, engine):
+        """Streams without session ids produce an empty by_session()."""
+        requests = TraceStream((0.0, 0.5), mix=MIX).generate(seed=0)
+        simulator = FleetSimulator(("flexnerfer",), scheduler=FIFOScheduler(), engine=engine)
+        for report in both_paths(simulator, requests):
+            assert report.by_session() == ()

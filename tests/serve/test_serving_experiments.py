@@ -24,6 +24,9 @@ SERVING_IDS = (
     "serve-overload-sla",
     "serve-autoscale",
     "serve-quality-shed",
+    "serve-flash-crowd",
+    "serve-multi-tenant",
+    "serve-interactive",
 )
 
 #: Quick-turnaround overrides so the determinism tests stay snappy.
@@ -34,6 +37,9 @@ QUICK = {
     "serve-overload-sla": {"rates": (20.0, 50.0), "duration_s": 8.0},
     "serve-autoscale": {"duration_s": 20.0},
     "serve-quality-shed": {"depths": (8, 2), "duration_s": 8.0},
+    "serve-flash-crowd": {"burst_rates": (60.0,), "duration_s": 8.0},
+    "serve-multi-tenant": {"duration_s": 8.0},
+    "serve-interactive": {"sessions": (4, 10), "frames": 25},
 }
 
 
@@ -50,7 +56,7 @@ def _tail_metrics(result):
 
 
 class TestRegistration:
-    def test_serving_tag_selects_all_six(self):
+    def test_serving_tag_selects_all_nine(self):
         assert [e.id for e in experiments_by_tag("serving")] == list(SERVING_IDS)
 
     @pytest.mark.parametrize("exp_id", SERVING_IDS)
@@ -118,6 +124,49 @@ class TestOverloadControl:
         # Offered requests are conserved in every mode.
         for point in result.raw:
             assert point.completed + point.rejected == point.num_requests
+
+
+class TestScenarioLibrary:
+    """Acceptance bar for the scenario-library experiments (this PR).
+
+    Each new stream must *matter*: the study built on it has to show the
+    effect the stream was designed to expose, not just run to completion.
+    """
+
+    def test_flash_crowd_control_rescues_burst_slo(self):
+        result = run_experiment("serve-flash-crowd")
+        by_cell = {(p.burst_rps, p.mode): p for p in result.raw}
+        for burst in {p.burst_rps for p in result.raw}:
+            none = by_cell[(burst, "none")]
+            shed = by_cell[(burst, "shed")]
+            assert shed.slo_attainment > none.slo_attainment, burst
+            assert shed.mean_quality < 1.0  # attainment was bought with quality
+
+    def test_multi_tenant_breaks_per_tenant_not_fleet_wide(self):
+        result = run_experiment("serve-multi-tenant")
+        by_cell = {(p.fleet, p.tenant): p for p in result.raw}
+        small, big = "flexnerfer", "flexnerfer+neurex"
+        # The undersized fleet fails the tight-SLA tenant specifically...
+        assert by_cell[(small, "interactive")].slo_attainment < 0.5
+        # ...while the relaxed-SLA batch tenant still looks healthy.
+        assert by_cell[(small, "batch")].slo_attainment > 0.8
+        # Adding the second device repairs every tenant's attainment.
+        assert by_cell[(big, "interactive")].slo_attainment > 0.8
+        for tenant in ("batch", "free"):
+            assert by_cell[(big, tenant)].slo_attainment > 0.95, tenant
+
+    def test_interactive_shedding_needs_the_degradable_flag(self):
+        result = run_experiment("serve-interactive", sessions=(8,))
+        by_mode = {p.mode: p for p in result.raw}
+        # Shedding rescues overloaded sessions...
+        assert by_mode["shed"].slo_attainment > by_mode["none"].slo_attainment
+        assert by_mode["shed"].sessions_ok > by_mode["none"].sessions_ok
+        # ...but only because the frames are degradable: pinning them
+        # disarms the ladder and the collapse matches the uncontrolled run.
+        assert by_mode["shed+pinned"].slo_attainment == pytest.approx(
+            by_mode["none"].slo_attainment
+        )
+        assert by_mode["shed+pinned"].mean_quality == 1.0
 
 
 class TestCLI:

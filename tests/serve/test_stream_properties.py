@@ -1,0 +1,159 @@
+"""Fixed-seed property fuzz of the pre-existing arrival streams.
+
+The conformance harness certifies one pinned configuration per stream;
+this suite complements it for the two streams that predate the scenario
+library -- :class:`~repro.serve.request.DiurnalStream` and
+:class:`~repro.serve.request.TraceStream` -- by drawing hundreds of
+randomized configurations from a fixed-seed stream and asserting the
+harness invariants on every one of them:
+
+* arrivals are sorted, non-negative and inside the configured horizon;
+* the realization is a pure function of the seed (bit-determinism);
+* the diurnal envelope is honored: ``rate_at`` stays within
+  ``[base_rps, peak_rps]`` and the realized count respects the peak-rate
+  upper envelope;
+* traces replay verbatim (arrival times and recorded scenarios), and
+  malformed traces are rejected at construction.
+
+The iteration budget defaults to 200 configurations and is tunable via
+``REPRO_FUZZ_ITERATIONS`` (CI's ``traffic-fuzz`` job raises it).
+"""
+
+import os
+import random
+
+from repro.serve.request import DiurnalStream, Scenario, ScenarioMix, TraceStream
+
+from tests.serve.stream_conformance import (
+    StreamCase,
+    check_count,
+    check_invariants,
+)
+
+#: Fixed fuzz seed: the whole suite is one reproducible random stream.
+SEED = 20260808
+
+#: Combined config budget; override with REPRO_FUZZ_ITERATIONS=<n>.
+ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERATIONS", "200"))
+
+SCENARIOS = (
+    Scenario("instant-ngp", scene="lego", width=96, height=96),
+    Scenario("instant-ngp", scene="mic", width=64, height=64),
+    Scenario("tensorf", scene="lego", width=80, height=80),
+)
+
+
+def _random_mix(rng: random.Random) -> ScenarioMix:
+    """A random non-empty sub-mix of the tiny scenarios."""
+    count = rng.randint(1, len(SCENARIOS))
+    scenarios = tuple(rng.sample(SCENARIOS, count))
+    if rng.random() < 0.5:
+        return ScenarioMix(scenarios)
+    return ScenarioMix(
+        scenarios, weights=tuple(rng.uniform(0.5, 4.0) for _ in scenarios)
+    )
+
+
+def test_diurnal_stream_honors_envelope_and_invariants():
+    """Randomized diurnal configs: envelope, horizon, determinism, count."""
+    rng = random.Random(SEED)
+    for iteration in range(ITERATIONS):
+        base = rng.uniform(1.0, 25.0)
+        peak = base * rng.uniform(1.0, 4.0)
+        period = rng.uniform(0.5, 6.0)
+        duration = rng.uniform(1.0, 6.0)
+        stream = DiurnalStream(
+            base_rps=base,
+            peak_rps=peak,
+            period_s=period,
+            duration_s=duration,
+            mix=_random_mix(rng),
+            sla_s=rng.choice((None, rng.uniform(0.05, 1.0))),
+        )
+        seed = rng.getrandbits(32)
+        requests = stream.generate(seed=seed)
+        if not requests:
+            continue  # short low-rate horizons may legitimately be empty
+        case = StreamCase(
+            name=f"diurnal[{iteration}]",
+            build=lambda stream=stream: stream,
+            max_duration_s=duration,
+        )
+        check_invariants(case, requests)
+        assert requests == stream.generate(seed=seed), case.name
+        # The modulation envelope never leaves [base, peak].
+        for t in (0.0, 0.25 * period, 0.5 * period, 0.73 * period, duration):
+            rate = stream.rate_at(t)
+            assert base - 1e-9 <= rate <= peak + 1e-9, case.name
+        # Thinning a peak-rate process can never exceed the peak envelope
+        # by much: bound the count at mean + 6 sigma of Poisson(peak * T).
+        envelope = peak * duration
+        assert len(requests) <= envelope + 6.0 * max(envelope, 1.0) ** 0.5 + 1, (
+            case.name
+        )
+
+
+def test_trace_stream_replays_verbatim():
+    """Randomized traces: exact replay of times and recorded scenarios."""
+    rng = random.Random(SEED + 1)
+    for iteration in range(ITERATIONS):
+        count = rng.randint(1, 120)
+        times = sorted(rng.uniform(0.0, 30.0) for _ in range(count))
+        if rng.random() < 0.3:  # exercise exact ties
+            times = [round(t, 1) for t in times]
+        recorded = (
+            tuple(rng.choice(SCENARIOS) for _ in range(count))
+            if rng.random() < 0.5
+            else None
+        )
+        stream = TraceStream(
+            times,
+            mix=_random_mix(rng),
+            scenarios=recorded,
+            sla_s=rng.choice((None, rng.uniform(0.05, 1.0))),
+        )
+        seed = rng.getrandbits(32)
+        requests = stream.generate(seed=seed)
+        case = StreamCase(
+            name=f"trace[{iteration}]",
+            build=lambda stream=stream: stream,
+            exact_count=count,
+        )
+        check_invariants(case, requests)
+        check_count(case, requests)
+        assert [r.arrival_s for r in requests] == [float(t) for t in times]
+        if recorded is not None:
+            assert tuple(r.scenario for r in requests) == recorded
+            # Recorded scenarios make the realization seed-independent.
+            assert requests == stream.generate(seed=seed + 1)
+        else:
+            assert requests == stream.generate(seed=seed)
+
+
+def test_trace_stream_rejects_malformed_traces():
+    """Decreasing, negative or mislabeled traces fail at construction."""
+    mix = ScenarioMix((SCENARIOS[0],))
+    rng = random.Random(SEED + 2)
+    for _ in range(max(1, ITERATIONS // 4)):
+        times = sorted(rng.uniform(0.0, 10.0) for _ in range(rng.randint(2, 40)))
+        bad = list(times)
+        i = rng.randrange(len(bad) - 1)
+        bad[i + 1] = bad[i] - rng.uniform(0.1, 1.0)  # force a decrease
+        try:
+            TraceStream(bad, mix=mix)
+        except ValueError as exc:
+            assert "non-decreasing" in str(exc)
+        else:  # pragma: no cover - the swap must have produced a decrease
+            raise AssertionError(f"decreasing trace accepted: {bad}")
+    try:
+        TraceStream((-1.0, 0.0), mix=mix)
+    except ValueError as exc:
+        assert "non-negative" in str(exc)
+    else:
+        raise AssertionError("negative trace accepted")
+    try:
+        TraceStream((0.0, 1.0), mix=mix, scenarios=(SCENARIOS[0],))
+    except ValueError as exc:
+        assert "scenarios" in str(exc)
+    else:
+        raise AssertionError("length-mismatched scenarios accepted")

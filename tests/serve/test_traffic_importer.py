@@ -1,0 +1,325 @@
+"""Trace importer: strict validation, fixtures, CLI exit codes.
+
+:func:`~repro.serve.traffic.load_trace` is the front door for real serving
+logs, so every malformed input must fail loudly with a located
+``path:line:`` message -- and surface as an exit-2 one-liner through
+``repro trace``.  This suite pins the rule book on both formats, checks
+the committed example fixtures parse to the documented summaries, and
+exercises the CLI surface (default summary, ``--summarize``,
+``--to-json``, flag mutual exclusion).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.serve.request import Request, Scenario
+from repro.serve.traffic import (
+    CSV_COLUMNS,
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    trace_to_jsonl,
+)
+from repro.sparse.formats import Precision
+
+FIXTURES = Path(__file__).resolve().parents[2] / "examples" / "traces"
+CSV_FIXTURE = FIXTURES / "sample-serving-log.csv"
+JSONL_FIXTURE = FIXTURES / "sample-serving-log.jsonl"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestFixtures:
+    """The committed example traces parse to their documented shape."""
+
+    def test_csv_fixture_summary(self):
+        trace = load_trace(CSV_FIXTURE)
+        summary = trace.summary()
+        assert trace.format == "csv"
+        assert summary["requests"] == 12
+        assert summary["with_deadline"] == 12
+        assert summary["pinned"] == 0
+        assert summary["sessions"] == 0
+        assert summary["tenants"] == {"batch": 3, "free": 3, "studio": 6}
+        assert summary["first_arrival_s"] == 0.0
+        assert summary["last_arrival_s"] == 0.614
+        assert sum(s["count"] for s in summary["scenarios"]) == 12
+
+    def test_jsonl_fixture_summary(self):
+        trace = load_trace(JSONL_FIXTURE)
+        summary = trace.summary()
+        assert trace.format == "jsonl"
+        assert summary["requests"] == 10
+        assert summary["pinned"] == 4
+        assert summary["sessions"] == 2
+        assert summary["with_deadline"] == 9
+        assert summary["tenants"] == {"batch": 1, "free": 1}
+        # Session frames carry full pose tuples.
+        posed = [r for r in trace.requests if r.pose is not None]
+        assert len(posed) == 8
+        assert posed[0].pose == (0.0, 30.0, 4.0)
+
+    def test_fixture_roundtrips_losslessly(self, tmp_path):
+        """Acceptance pin: `repro trace` round-trips the sample fixture."""
+        for fixture, suffix in ((CSV_FIXTURE, ".csv"), (JSONL_FIXTURE, ".jsonl")):
+            trace = load_trace(fixture)
+            copy = tmp_path / f"copy{suffix}"
+            dump_trace(trace.requests, copy)
+            assert load_trace(copy).requests == trace.requests, fixture.name
+
+    def test_fixture_stream_replays_verbatim(self):
+        trace = load_trace(JSONL_FIXTURE)
+        stream = trace.stream()
+        assert stream.generate(seed=0) == trace.requests
+        assert stream.generate(seed=123) == trace.requests
+
+
+class TestCSVValidation:
+    def load_error(self, tmp_path, text, name="t.csv"):
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(write(tmp_path, name, text))
+        return str(exc.value)
+
+    def test_unknown_column(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model,latency\n")
+        assert ":1: unknown column(s) ['latency']" in message
+
+    def test_missing_required_column(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,scene\n0.0,lego\n")
+        assert "missing required column(s) ['model']" in message
+
+    def test_duplicate_column(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model,model\n")
+        assert "duplicate column in header" in message
+
+    def test_cell_count_mismatch(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model\n0.0,instant-ngp,extra\n")
+        assert ":2: expected 2 cells, got 3" in message
+
+    def test_bad_timestamp(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model\nsoon,instant-ngp\n")
+        assert ":2: timestamp is not a number: 'soon'" in message
+
+    def test_negative_timestamp(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model\n-1.0,instant-ngp\n")
+        assert "timestamp must be non-negative" in message
+
+    def test_missing_required_value(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model\n0.5,\n")
+        assert "missing required field 'model'" in message
+
+    def test_unknown_precision(self, tmp_path):
+        message = self.load_error(
+            tmp_path, "timestamp,model,precision\n0.0,instant-ngp,fp97\n"
+        )
+        assert "unknown precision 'fp97'" in message
+        assert "expected one of" in message
+
+    def test_deadline_before_timestamp(self, tmp_path):
+        message = self.load_error(
+            tmp_path, "timestamp,model,deadline_s\n2.0,instant-ngp,1.5\n"
+        )
+        assert "deadline_s (1.5) precedes timestamp (2)" in message
+
+    def test_negative_session(self, tmp_path):
+        message = self.load_error(
+            tmp_path, "timestamp,model,session\n0.0,instant-ngp,-2\n"
+        )
+        assert "session must be non-negative" in message
+
+    def test_invalid_resolution(self, tmp_path):
+        message = self.load_error(
+            tmp_path, "timestamp,model,width\n0.0,instant-ngp,0\n"
+        )
+        assert "resolution must be positive" in message
+
+    def test_out_of_order_timestamps(self, tmp_path):
+        message = self.load_error(
+            tmp_path, "timestamp,model\n1.0,instant-ngp\n0.5,instant-ngp\n"
+        )
+        assert "timestamps must be non-decreasing" in message
+
+    def test_empty_file(self, tmp_path):
+        message = self.load_error(tmp_path, "")
+        assert "empty trace file" in message
+
+    def test_header_only(self, tmp_path):
+        message = self.load_error(tmp_path, "timestamp,model\n")
+        assert "trace contains no records" in message
+
+    def test_blank_rows_are_skipped(self, tmp_path):
+        trace = load_trace(
+            write(tmp_path, "t.csv", "timestamp,model\n0.0,instant-ngp\n\n  ,\n")
+        )
+        assert len(trace.requests) == 1
+
+
+class TestJSONLValidation:
+    def load_error(self, tmp_path, text, name="t.jsonl"):
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(write(tmp_path, name, text))
+        return str(exc.value)
+
+    def test_invalid_json(self, tmp_path):
+        message = self.load_error(tmp_path, "{not json}\n")
+        assert ":1: invalid JSON" in message
+
+    def test_non_object_line(self, tmp_path):
+        message = self.load_error(tmp_path, "[1, 2]\n")
+        assert "each line must be a JSON object" in message
+
+    def test_unknown_key(self, tmp_path):
+        message = self.load_error(
+            tmp_path, '{"timestamp": 0.0, "model": "x", "latency": 1}\n'
+        )
+        assert "unknown key(s) ['latency']" in message
+
+    def test_degradable_must_be_boolean(self, tmp_path):
+        message = self.load_error(
+            tmp_path, '{"timestamp": 0.0, "model": "x", "degradable": "no"}\n'
+        )
+        assert "degradable must be a JSON boolean" in message
+
+    def test_malformed_pose(self, tmp_path):
+        for pose in ("[1, 2]", "[1, 2, true]", '"north"'):
+            message = self.load_error(
+                tmp_path, '{"timestamp": 0.0, "model": "x", "pose": %s}\n' % pose
+            )
+            assert "pose must be a 3-element number array" in message
+
+    def test_boolean_timestamp_rejected(self, tmp_path):
+        message = self.load_error(
+            tmp_path, '{"timestamp": true, "model": "x"}\n'
+        )
+        assert "timestamp is not a number" in message
+
+    def test_fractional_session_rejected(self, tmp_path):
+        message = self.load_error(
+            tmp_path, '{"timestamp": 0.0, "model": "x", "session": 1.5}\n'
+        )
+        assert "session is not an integer" in message
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        trace = load_trace(
+            write(tmp_path, "t.jsonl", '\n{"timestamp": 0.0, "model": "x"}\n\n')
+        )
+        assert len(trace.requests) == 1
+
+
+class TestLoadDump:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="no such trace file"):
+            load_trace(tmp_path / "absent.csv")
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = write(tmp_path, "t.parquet", "x")
+        with pytest.raises(TraceFormatError, match="unsupported trace format"):
+            load_trace(path)
+        with pytest.raises(TraceFormatError, match="unsupported trace format"):
+            dump_trace((), tmp_path / "out.parquet")
+
+    def test_csv_refuses_jsonl_only_fields(self, tmp_path):
+        pinned = Request(
+            request_id=0,
+            arrival_s=0.0,
+            scenario=Scenario("instant-ngp"),
+            degradable=False,
+        )
+        with pytest.raises(TraceFormatError, match="write a .jsonl trace instead"):
+            dump_trace((pinned,), tmp_path / "out.csv")
+
+    def test_defaults_are_elided_and_restored(self, tmp_path):
+        """A minimal request writes a minimal record and loads identically."""
+        request = Request(
+            request_id=0, arrival_s=1.5, scenario=Scenario("instant-ngp")
+        )
+        text = trace_to_jsonl((request,))
+        assert "precision" not in text
+        assert "degradable" not in text
+        path = write(tmp_path, "t.jsonl", text)
+        assert load_trace(path).requests == (request,)
+
+    def test_precision_roundtrips_by_name(self, tmp_path):
+        request = Request(
+            request_id=0,
+            arrival_s=0.0,
+            scenario=Scenario("instant-ngp", precision=Precision.INT8),
+        )
+        for suffix in (".csv", ".jsonl"):
+            path = tmp_path / f"t{suffix}"
+            dump_trace((request,), path)
+            assert load_trace(path).requests == (request,)
+
+    def test_csv_columns_constant_matches_writer(self, tmp_path):
+        request = Request(
+            request_id=0, arrival_s=0.0, scenario=Scenario("instant-ngp")
+        )
+        path = tmp_path / "t.csv"
+        dump_trace((request,), path)
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(CSV_COLUMNS)
+
+
+class TestCLI:
+    """`repro trace`: summaries, JSON re-export, exit-2 one-liners."""
+
+    def assert_one_liner(self, code, err, fragment):
+        assert code == 2
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert fragment in err
+
+    def test_default_summary(self, capsys):
+        code, out, err = run_cli(capsys, "trace", str(CSV_FIXTURE))
+        assert code == 0 and err == ""
+        assert "12 requests" in out
+        assert "csv" in out
+
+    def test_summarize_tables(self, capsys):
+        code, out, _ = run_cli(capsys, "trace", str(CSV_FIXTURE), "--summarize")
+        assert code == 0
+        assert "scenario" in out and "share" in out
+        assert "tenant" in out and "studio" in out
+
+    def test_to_json_roundtrips(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "trace", str(CSV_FIXTURE), "--to-json")
+        assert code == 0
+        path = tmp_path / "reexport.jsonl"
+        path.write_text(out)
+        assert load_trace(path).requests == load_trace(CSV_FIXTURE).requests
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "trace", str(tmp_path / "nope.csv"))
+        self.assert_one_liner(code, err, "no such trace file")
+
+    def test_malformed_trace_exits_2(self, capsys, tmp_path):
+        path = write(tmp_path, "bad.csv", "timestamp,model\nxyz,instant-ngp\n")
+        code, _, err = run_cli(capsys, "trace", str(path))
+        self.assert_one_liner(code, err, "timestamp is not a number")
+
+    def test_missing_operand_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "trace")
+        self.assert_one_liner(code, err, "exactly one trace file")
+
+    def test_mutually_exclusive_flags_exit_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "trace", str(CSV_FIXTURE), "--summarize", "--to-json"
+        )
+        self.assert_one_liner(code, err, "mutually exclusive")
+
+    def test_listed_in_help(self, capsys):
+        code, out, _ = run_cli(capsys, "help")
+        assert code == 0
+        assert "trace" in out

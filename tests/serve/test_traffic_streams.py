@@ -1,0 +1,282 @@
+"""Behavioral unit tests of the generative traffic streams.
+
+The conformance harness certifies the shared stream contract; this suite
+pins what makes each stream *itself*: flash-crowd bursts actually burst,
+the marked (self-exciting) process clusters and honors its long-run mean,
+multi-tenant merges stamp tenants and keep per-tenant sub-streams stable
+under roster changes, and sessions emit strict-deadline orbit frames.
+Constructor validation errors are pinned by message for every stream.
+"""
+
+import random
+
+import pytest
+
+from repro.serve.request import Scenario, ScenarioMix
+from repro.serve.traffic import (
+    FlashCrowdStream,
+    MarkedBurstStream,
+    MultiTenantStream,
+    SessionStream,
+    TenantSpec,
+)
+from repro.serve.traffic.session import ORBIT_ELEVATION_DEG, ORBIT_RADIUS
+
+SEED = 20260808
+TINY = Scenario("instant-ngp", scene="lego", width=96, height=96)
+OTHER = Scenario("tensorf", scene="lego", width=80, height=80)
+MIX = ScenarioMix((TINY,))
+
+
+class TestFlashCrowd:
+    def test_bursts_actually_burst(self):
+        """Arrival density inside burst windows dwarfs the baseline."""
+        stream = FlashCrowdStream(
+            base_rps=5.0,
+            burst_rps=100.0,
+            duration_s=20.0,
+            mix=MIX,
+            num_bursts=2,
+            burst_s=1.0,
+        )
+        epochs = stream.burst_epochs(random.Random(SEED))
+        arrivals = [r.arrival_s for r in stream.generate(seed=SEED)]
+        in_burst = sum(
+            1
+            for t in arrivals
+            if any(start <= t < start + stream.burst_s for start in epochs)
+        )
+        burst_span = stream.num_bursts * stream.burst_s
+        base_span = stream.duration_s - burst_span
+        burst_rate = in_burst / burst_span
+        base_rate = (len(arrivals) - in_burst) / base_span
+        assert burst_rate > 5.0 * base_rate
+
+    def test_burst_epochs_are_seeded_and_sorted(self):
+        stream = FlashCrowdStream(10.0, 50.0, 10.0, MIX, num_bursts=4, burst_s=0.5)
+        epochs = stream.burst_epochs(random.Random(SEED))
+        assert epochs == stream.burst_epochs(random.Random(SEED))
+        assert list(epochs) == sorted(epochs)
+        assert all(0.0 <= e <= stream.duration_s - stream.burst_s for e in epochs)
+
+    def test_rate_at_follows_windows(self):
+        stream = FlashCrowdStream(10.0, 50.0, 10.0, MIX, burst_s=1.0)
+        epochs = (2.0, 6.0)
+        assert stream.rate_at(1.9, epochs) == 10.0
+        assert stream.rate_at(2.0, epochs) == 50.0
+        assert stream.rate_at(2.999, epochs) == 50.0
+        assert stream.rate_at(3.0, epochs) == 10.0
+        assert stream.rate_at(6.5, epochs) == 50.0
+
+    def test_default_burst_width_is_tenth_of_horizon(self):
+        stream = FlashCrowdStream(10.0, 50.0, 30.0, MIX)
+        assert stream.burst_s == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            FlashCrowdStream(0.0, 50.0, 10.0, MIX)
+        with pytest.raises(ValueError, match="burst_rps >= base_rps"):
+            FlashCrowdStream(10.0, 5.0, 10.0, MIX)
+        with pytest.raises(ValueError, match="num_bursts"):
+            FlashCrowdStream(10.0, 50.0, 10.0, MIX, num_bursts=0)
+        with pytest.raises(ValueError, match="burst_s"):
+            FlashCrowdStream(10.0, 50.0, 10.0, MIX, burst_s=11.0)
+
+
+class TestMarkedBurst:
+    def test_long_run_mean_matches_formula(self):
+        """Realized rate over many seeds approaches immigrant/(1-offspring)."""
+        stream = MarkedBurstStream(
+            immigrant_rps=10.0, duration_s=10.0, mix=MIX, offspring_mean=0.5
+        )
+        assert stream.mean_rps == 20.0
+        counts = [len(stream.generate(seed=s)) for s in range(20)]
+        mean_rate = sum(counts) / len(counts) / stream.duration_s
+        # Edge truncation loses some offspring, so allow a generous band.
+        assert 0.7 * stream.mean_rps <= mean_rate <= 1.2 * stream.mean_rps
+
+    def test_offspring_cluster_after_parents(self):
+        """Self-excitation clusters arrivals: more short gaps than Poisson."""
+        plain = MarkedBurstStream(20.0, 20.0, MIX, offspring_mean=0.0)
+        excited = MarkedBurstStream(20.0, 20.0, MIX, offspring_mean=0.6, decay_s=0.05)
+
+        def short_gap_share(stream):
+            gaps = []
+            for seed in range(10):
+                arrivals = [r.arrival_s for r in stream.generate(seed=seed)]
+                gaps += [b - a for a, b in zip(arrivals, arrivals[1:])]
+            return sum(1 for g in gaps if g < 0.01) / len(gaps)
+
+        assert short_gap_share(excited) > short_gap_share(plain)
+
+    def test_zero_offspring_is_pure_immigrants(self):
+        """With offspring_mean=0 the process is the immigrant Poisson flow."""
+        stream = MarkedBurstStream(15.0, 8.0, MIX, offspring_mean=0.0)
+        assert stream.mean_rps == 15.0
+        arrivals = [r.arrival_s for r in stream.generate(seed=SEED)]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 8.0 for t in arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            MarkedBurstStream(0.0, 10.0, MIX)
+        with pytest.raises(ValueError, match="subcritical"):
+            MarkedBurstStream(10.0, 10.0, MIX, offspring_mean=1.0)
+        with pytest.raises(ValueError, match="decay_s"):
+            MarkedBurstStream(10.0, 10.0, MIX, decay_s=0.0)
+
+
+class TestMultiTenant:
+    ROSTER = (
+        TenantSpec("gold", 12.0, ScenarioMix((TINY,)), sla_s=0.2),
+        TenantSpec("bronze", 4.0, ScenarioMix((OTHER,)), sla_s=0.8),
+    )
+
+    def test_tenants_and_deadlines_are_stamped(self):
+        stream = MultiTenantStream(self.ROSTER, duration_s=6.0)
+        requests = stream.generate(seed=SEED)
+        sla = {"gold": 0.2, "bronze": 0.8}
+        seen = set()
+        for request in requests:
+            assert request.tenant in sla
+            seen.add(request.tenant)
+            assert request.deadline_s == pytest.approx(
+                request.arrival_s + sla[request.tenant]
+            )
+        assert seen == {"gold", "bronze"}
+
+    def test_tenant_shares_follow_rates(self):
+        stream = MultiTenantStream(self.ROSTER, duration_s=20.0)
+        requests = stream.generate(seed=SEED)
+        gold = sum(1 for r in requests if r.tenant == "gold")
+        share = gold / len(requests)
+        assert abs(share - 12.0 / 16.0) < 0.1
+
+    def test_sub_streams_are_stable_under_roster_changes(self):
+        """Adding a tenant must not perturb another tenant's arrivals."""
+        solo = MultiTenantStream(self.ROSTER[:1], duration_s=6.0)
+        both = MultiTenantStream(self.ROSTER, duration_s=6.0)
+        gold_solo = [
+            r.arrival_s for r in solo.generate(seed=SEED) if r.tenant == "gold"
+        ]
+        gold_both = [
+            r.arrival_s for r in both.generate(seed=SEED) if r.tenant == "gold"
+        ]
+        assert gold_solo == gold_both
+
+    def test_advertised_mix_is_rate_weighted_union(self):
+        stream = MultiTenantStream(self.ROSTER, duration_s=6.0)
+        assert stream.mix.scenarios == (TINY, OTHER)
+        assert stream.mix.weights == (12.0, 4.0)
+
+    def test_shared_scenario_accumulates_weight(self):
+        roster = (
+            TenantSpec("a", 9.0, ScenarioMix((TINY,))),
+            TenantSpec("b", 3.0, ScenarioMix((TINY, OTHER))),
+        )
+        stream = MultiTenantStream(roster, duration_s=2.0)
+        assert stream.mix.scenarios == (TINY, OTHER)
+        assert stream.mix.weights == (10.5, 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            MultiTenantStream((), duration_s=5.0)
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            MultiTenantStream(
+                (
+                    TenantSpec("x", 1.0, MIX),
+                    TenantSpec("x", 2.0, MIX),
+                ),
+                duration_s=5.0,
+            )
+        with pytest.raises(ValueError, match="duration_s must be positive"):
+            MultiTenantStream(self.ROSTER, duration_s=0.0)
+        with pytest.raises(ValueError, match="name must be non-empty"):
+            TenantSpec("", 1.0, MIX)
+        with pytest.raises(ValueError, match="rate_rps must be positive"):
+            TenantSpec("x", 0.0, MIX)
+        with pytest.raises(ValueError, match="sla_s must be positive"):
+            TenantSpec("x", 1.0, MIX, sla_s=0.0)
+
+
+class TestSession:
+    def test_frames_share_scenario_and_sweep_the_orbit(self):
+        mix = ScenarioMix((TINY, OTHER))
+        stream = SessionStream(
+            mix, num_sessions=3, frames_per_session=8, fps=30.0, start_spread_s=0.5
+        )
+        requests = stream.generate(seed=SEED)
+        assert len(requests) == 24
+        by_session = {}
+        for request in requests:
+            by_session.setdefault(request.session, []).append(request)
+        assert sorted(by_session) == [0, 1, 2]
+        for frames in by_session.values():
+            assert len(frames) == 8
+            assert len({f.scenario for f in frames}) == 1  # correlation
+            azimuths = sorted(f.pose[0] for f in frames)
+            assert azimuths == [360.0 * k / 8 for k in range(8)]
+            for frame in frames:
+                assert frame.pose[1] == ORBIT_ELEVATION_DEG
+                assert frame.pose[2] == ORBIT_RADIUS
+
+    def test_default_deadline_is_one_frame_period(self):
+        stream = SessionStream(
+            MIX, num_sessions=1, frames_per_session=4, fps=25.0, start_spread_s=0.0
+        )
+        for request in stream.generate(seed=SEED):
+            assert request.deadline_s == pytest.approx(request.arrival_s + 0.04)
+
+    def test_explicit_sla_overrides_frame_period(self):
+        stream = SessionStream(
+            MIX,
+            num_sessions=1,
+            frames_per_session=4,
+            fps=25.0,
+            start_spread_s=0.0,
+            sla_s=0.5,
+        )
+        for request in stream.generate(seed=SEED):
+            assert request.deadline_s == pytest.approx(request.arrival_s + 0.5)
+
+    def test_degradable_flag_is_stamped(self):
+        for degradable in (True, False):
+            stream = SessionStream(
+                MIX,
+                num_sessions=2,
+                frames_per_session=3,
+                degradable=degradable,
+            )
+            assert all(
+                r.degradable is degradable for r in stream.generate(seed=SEED)
+            )
+
+    def test_jitter_keeps_sessions_monotone(self):
+        stream = SessionStream(
+            MIX,
+            num_sessions=4,
+            frames_per_session=25,
+            fps=50.0,
+            start_spread_s=0.3,
+            jitter_s=0.019,  # just under the 20 ms frame period
+        )
+        requests = stream.generate(seed=SEED)
+        by_session = {}
+        for request in requests:
+            by_session.setdefault(request.session, []).append(request.arrival_s)
+        for times in by_session.values():
+            assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            SessionStream(MIX, num_sessions=0, frames_per_session=5)
+        with pytest.raises(ValueError, match="fps must be positive"):
+            SessionStream(MIX, num_sessions=1, frames_per_session=5, fps=0.0)
+        with pytest.raises(ValueError, match="start_spread_s"):
+            SessionStream(
+                MIX, num_sessions=1, frames_per_session=5, start_spread_s=-1.0
+            )
+        with pytest.raises(ValueError, match="jitter_s must be in"):
+            SessionStream(
+                MIX, num_sessions=1, frames_per_session=5, fps=20.0, jitter_s=0.05
+            )
